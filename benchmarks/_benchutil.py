@@ -1,0 +1,18 @@
+"""Reporting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["print_table"]
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Uniform fixed-width table printer for reproduced artifacts."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

@@ -1,0 +1,131 @@
+"""ABLATIONS — design-choice studies called out in DESIGN.md §5.
+
+Not a paper table; these benches quantify the design decisions the
+reproduction made so their effect is measured rather than asserted:
+
+* D&C pairing policy (leftmost vs balanced): identical round counts,
+  different tree shapes.
+* AND/OR compare capacity in the level-synchronous mapping.
+* AO* pruning on/off: same optimum, fewer visited nodes.
+* Semiring matmul block size: identical results, bounded temporaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.andor import ao_star, fold_multistage, map_to_array, matrix_chain_andor
+from repro.dnc import simulate_chain_product
+from repro.graphs import uniform_multistage
+from repro.semiring import MIN_PLUS, matmul
+from _benchutil import print_table
+
+
+def test_ablation_pairing_policy(benchmark, rng):
+    def run_all():
+        rows = []
+        for n, k in [(64, 8), (100, 16), (255, 32)]:
+            a = simulate_chain_product(n, k, policy="leftmost")
+            b = simulate_chain_product(n, k, policy="balanced")
+            rows.append([n, k, a.rounds, b.rounds, a.computation_rounds, b.computation_rounds])
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Ablation: D&C pairing policy (schedule length is invariant)",
+        ["N", "K", "rounds(left)", "rounds(bal)", "Tc(left)", "Tc(bal)"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] == row[3]
+
+
+def test_ablation_compare_capacity(benchmark, rng):
+    g = uniform_multistage(rng, 17, 3)  # N = 16 layers: deep fold
+    fm = fold_multistage(g, p=2)
+
+    def run_all():
+        return {cap: map_to_array(fm.graph, compare_capacity=cap).steps for cap in (1, 2, 4, 8)}
+
+    steps = benchmark(run_all)
+    print_table(
+        "Ablation: per-step OR-fold capacity vs schedule steps",
+        ["capacity", "steps"],
+        [[c, s] for c, s in sorted(steps.items())],
+    )
+    ordered = [steps[c] for c in (1, 2, 4, 8)]
+    assert ordered == sorted(ordered, reverse=True)
+    assert ordered[0] > ordered[-1]  # capacity genuinely helps here
+
+
+def test_ablation_ao_star_pruning(benchmark):
+    def run_all():
+        visited_with, visited_without, pruned = 0, 0, 0
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            dims = list(rng.integers(1, 120, size=10))
+            mc = matrix_chain_andor(dims)
+            a = ao_star(mc.graph, mc.root, prune=True)
+            b = ao_star(mc.graph, mc.root, prune=False)
+            assert a.cost == b.cost
+            visited_with += a.nodes_visited
+            visited_without += b.nodes_visited
+            pruned += a.pruned_and_nodes
+        return visited_with, visited_without, pruned
+
+    vw, vo, pruned = benchmark(run_all)
+    print(
+        f"\nAblation AO*: visited {vw} (pruned={pruned}) vs {vo} without "
+        f"pruning, same optima"
+    )
+    assert pruned > 0
+    assert vw <= vo
+
+
+def test_ablation_matmul_block_size(benchmark, rng):
+    a = rng.uniform(0, 9, (300, 200))
+    b = rng.uniform(0, 9, (200, 150))
+
+    def run_all():
+        return [matmul(MIN_PLUS, a, b, block_rows=br) for br in (16, 64, 512)]
+
+    outs = benchmark(run_all)
+    for o in outs[1:]:
+        assert np.array_equal(outs[0], o)
+
+
+def test_ablation_aostar_heuristic_quality(benchmark):
+    """How heuristic quality buys expansion savings in explicit AO*.
+
+    The paper cites Nilsson's AO* as the top-down alternative to the
+    bottom-up sweep; this ablation quantifies the trade: with the
+    trivial bound the whole graph is expanded, with sharper admissible
+    bounds the search narrows toward the solution tree.
+    """
+    from repro.andor import ao_star_explicit, matrix_chain_andor
+
+    def run_all():
+        rows = []
+        rng = np.random.default_rng(17)
+        dims = list(rng.integers(1, 80, size=11))
+        mc = matrix_chain_andor(dims)
+        exact = mc.graph.evaluate()
+        for name, frac in [("h=0", 0.0), ("h=50%", 0.5), ("h=90%", 0.9), ("h=exact", 1.0)]:
+            res = ao_star_explicit(
+                mc.graph, mc.root, heuristic=lambda n, f=frac: f * float(exact[n])
+            )
+            rows.append([name, res.nodes_expanded, res.nodes_total, res.revisions, res.cost])
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Ablation: AO* expansion vs heuristic sharpness",
+        ["heuristic", "expanded", "total nodes", "revisions", "cost"],
+        rows,
+    )
+    costs = {r[0]: r[4] for r in rows}
+    assert len(set(costs.values())) == 1  # admissible => always optimal
+    expansions = [r[1] for r in rows]
+    assert expansions[-1] <= expansions[0]
+    assert expansions[-1] < rows[0][2]  # informed search skips nodes

@@ -1,0 +1,135 @@
+"""EQ40 — Step count of monadic-nonserial elimination (Section 6.1).
+
+Paper artifact: solving the banded objective
+``min Σ g_k(V_k, V_{k+1}, V_{k+2})`` by eliminating variables in order
+costs
+
+    Σ_{k=1}^{N-2} m_k·m_{k+1}·m_{k+2}  +  m_{N-1}·m_N        (eq. 40)
+
+steps, and the problem then serializes by grouping adjacent variables
+(eq. 41) onto the Section-3 arrays.
+
+Reproduced here: measured step counts vs the closed form over a size
+sweep, optimality of the result against brute force, the grouping
+transform's equivalence, and the elimination-order ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import (
+    banded_objective,
+    brute_force_minimum,
+    eliminate,
+    eq40_step_count,
+    group_variables_to_serial,
+    solve_backward,
+)
+from _benchutil import print_table
+
+SIZE_SWEEP = [
+    [3, 3, 3],
+    [4, 4, 4, 4],
+    [3, 5, 2, 4, 3],
+    [4, 4, 4, 4, 4, 4],
+    [5, 5, 5, 5, 5, 5, 5],
+]
+
+
+def test_eq40_step_counts(benchmark, rng):
+    def run_all():
+        rows = []
+        for sizes in SIZE_SWEEP:
+            obj = banded_objective(rng, sizes)
+            res = eliminate(obj)
+            rows.append(
+                [
+                    "x".join(map(str, sizes)),
+                    res.total_steps,
+                    eq40_step_count(sizes),
+                    res.max_table_size,
+                ]
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Eq. (40): measured elimination steps vs closed form",
+        ["domain sizes", "steps_measured", "steps_eq40", "peak_table"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] == row[2]
+
+
+def test_eq40_optimality(benchmark, rng):
+    def run_all():
+        out = []
+        for sizes in SIZE_SWEEP[:3]:  # brute force only on small ones
+            obj = banded_objective(rng, sizes)
+            res = eliminate(obj)
+            ref, _ = brute_force_minimum(obj)
+            out.append((res.optimum, ref))
+        return out
+
+    for got, want in benchmark(run_all):
+        assert np.isclose(got, want)
+
+
+def test_eq41_grouping_transform(benchmark, rng):
+    # Section 6.1 serialization: composite variables -> multistage graph
+    # with the same optimum, ready for the systolic arrays.
+    def run_all():
+        rows = []
+        for sizes in SIZE_SWEEP[:4]:
+            obj = banded_objective(rng, sizes)
+            direct = eliminate(obj)
+            graph, _ = group_variables_to_serial(obj)
+            serial = solve_backward(graph)
+            rows.append(
+                [
+                    "x".join(map(str, sizes)),
+                    f"{direct.optimum:.4f}",
+                    f"{serial.optimum:.4f}",
+                    "x".join(map(str, graph.stage_sizes)),
+                ]
+            )
+            assert np.isclose(direct.optimum, serial.optimum)
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Eq. (41): grouping transform vs direct elimination",
+        ["sizes", "eliminate", "serial sweep", "composite stages"],
+        rows,
+    )
+
+
+def test_eq40_order_ablation(benchmark, rng):
+    # DESIGN.md ablation: the natural order achieves eq. (40); orders
+    # that eliminate interior variables early pay larger joint tables.
+    sizes = [4, 4, 4, 4, 4, 4]
+    obj = banded_objective(rng, sizes)
+    names = list(obj.variables)
+
+    def run_orders():
+        natural = eliminate(obj)
+        interior_first = eliminate(
+            obj, order=[names[2], names[3]] + [names[0], names[1]] + names[4:]
+        )
+        reverse = eliminate(obj, order=list(reversed(names)))
+        return natural, interior_first, reverse
+
+    natural, interior_first, reverse = benchmark(run_orders)
+    print(
+        f"\nOrder ablation (sizes {sizes}): natural={natural.total_steps} "
+        f"(eq40={eq40_step_count(sizes)}), interior-first="
+        f"{interior_first.total_steps}, reverse={reverse.total_steps}"
+    )
+    assert natural.total_steps == eq40_step_count(sizes)
+    assert reverse.total_steps == natural.total_steps  # band is symmetric
+    assert interior_first.total_steps > natural.total_steps
+    assert np.isclose(natural.optimum, interior_first.optimum)
+    assert np.isclose(natural.optimum, reverse.optimum)

@@ -1,0 +1,91 @@
+"""FIG3 — The pipelined systolic array schedule (paper Figure 3).
+
+Paper artifact: the walkthrough schedule for A·(B·(C·D)) on the
+Fig. 1(a) graph — three matrix-vector products of three iterations each
+(nine iterations on three PEs), alternating stationary/moving vectors
+under the ODD/MOVE control signals; generally ``(P−1)·m`` iterations
+with an ``m−1``-tick drain for a string of ``P`` operands.
+
+Reproduced here: the exact example schedule, an (N, m) sweep of
+iterations and wall ticks against the sequential baseline, and the
+speedup shape (→ m for long strings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_backward
+from repro.graphs import fig1a_graph, single_source_sink
+from repro.systolic import PipelinedMatrixStringArray
+from _benchutil import print_table
+
+SWEEP = [(4, 3), (8, 4), (16, 4), (16, 8), (32, 8), (64, 8)]
+
+
+def test_fig3_paper_walkthrough(benchmark):
+    g = fig1a_graph()
+    arr = PipelinedMatrixStringArray()
+    res = benchmark(arr.run_graph, g)
+    assert float(res.value) == 6.0
+    # Three products x m=3 iterations, as in the paper's walkthrough.
+    assert res.report.iterations == 9
+    assert res.report.wall_ticks == 9 + 2
+    print(
+        f"\nFig. 3 walkthrough: optimum={float(res.value)}, "
+        f"iterations={res.report.iterations} (paper text: 9 over three "
+        f"3-iteration products; paper formula N*m = 12), "
+        f"wall={res.report.wall_ticks}"
+    )
+
+
+def test_fig3_schedule_sweep(benchmark, rng):
+    arr = PipelinedMatrixStringArray()
+
+    def run_all():
+        rows = []
+        for n_layers, m in SWEEP:
+            g = single_source_sink(rng, n_layers - 1, m)
+            res = arr.run_graph(g)
+            seq = solve_backward(g)
+            assert np.isclose(float(res.value), seq.optimum)
+            rows.append(
+                [
+                    n_layers,
+                    m,
+                    seq.op_count,
+                    res.report.iterations,
+                    res.report.wall_ticks,
+                    f"{seq.op_count / res.report.iterations:.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Fig. 3 pipelined array: schedule vs sequential baseline",
+        ["N", "m", "serial_ops", "iterations", "wall_ticks", "speedup"],
+        rows,
+    )
+    # Shape: speedup approaches m (m PEs at PU -> 1).
+    for (n_layers, m), row in zip(SWEEP, rows):
+        speedup = float(row[5])
+        assert speedup <= m + 1e-9
+        if n_layers >= 32:
+            assert speedup > 0.9 * m
+
+
+def test_fig3_iterations_formula(rng, benchmark):
+    arr = PipelinedMatrixStringArray()
+
+    def runs():
+        out = []
+        for n_layers, m in SWEEP:
+            g = single_source_sink(rng, n_layers - 1, m)
+            out.append((n_layers, m, arr.run_graph(g).report))
+        return out
+
+    for n_layers, m, rep in benchmark(runs):
+        assert rep.iterations == (n_layers - 1) * m
+        assert rep.wall_ticks == (n_layers - 1) * m + m - 1

@@ -1,0 +1,85 @@
+"""FIG4 — The broadcast systolic array schedule (paper Figure 4).
+
+Paper artifact: the same matrix-string evaluation as Fig. 3 but with all
+input matrices fed in one format, a broadcast bus for the moving vector,
+and S-register feedback under MOVE/FIRST; same ``m`` iterations per
+product and the same eq.-(9) utilization, with zero fill/drain skew.
+
+Reproduced here: schedule equality with the Fig. 3 design, the zero-skew
+wall clock, and the bus/port traffic comparison between the two designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_backward
+from repro.graphs import fig1a_graph, single_source_sink
+from repro.systolic import BroadcastMatrixStringArray, PipelinedMatrixStringArray
+from _benchutil import print_table
+
+SWEEP = [(4, 3), (8, 4), (16, 8), (32, 8)]
+
+
+def test_fig4_paper_walkthrough(benchmark):
+    arr = BroadcastMatrixStringArray()
+    res = benchmark(arr.run_graph, fig1a_graph())
+    assert float(res.value) == 6.0
+    assert res.report.iterations == 9
+    assert res.report.wall_ticks == 9  # broadcast: no skew
+    print(
+        f"\nFig. 4 walkthrough: optimum={float(res.value)}, "
+        f"iterations={res.report.iterations}, wall={res.report.wall_ticks} "
+        f"(no fill/drain: the bus reaches every PE at once)"
+    )
+
+
+def test_fig4_vs_fig3_traffic(benchmark, rng):
+    def run_all():
+        rows = []
+        for n_layers, m in SWEEP:
+            g = single_source_sink(rng, n_layers - 1, m)
+            rb = BroadcastMatrixStringArray().run_graph(g)
+            rp = PipelinedMatrixStringArray().run_graph(g)
+            assert np.isclose(float(rb.value), float(rp.value))
+            rows.append(
+                [
+                    n_layers,
+                    m,
+                    rb.report.iterations,
+                    rp.report.iterations,
+                    rb.report.wall_ticks,
+                    rp.report.wall_ticks,
+                    rb.report.broadcast_words,
+                    rp.report.broadcast_words,
+                ]
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Fig. 4 vs Fig. 3: same schedule, different data movement",
+        ["N", "m", "it_f4", "it_f3", "wall_f4", "wall_f3", "bus_f4", "bus_f3"],
+        rows,
+    )
+    for (n_layers, m), row in zip(SWEEP, rows):
+        assert row[2] == row[3]  # identical iteration counts
+        assert row[4] == row[5] - (m - 1)  # fig4 saves the skew
+        assert row[6] == row[2]  # one bus word per iteration
+        assert row[7] == 0  # fig3 uses no bus at all
+
+
+def test_fig4_correctness_sweep(benchmark, rng):
+    arr = BroadcastMatrixStringArray()
+
+    def run_all():
+        checks = []
+        for n_layers, m in SWEEP:
+            g = single_source_sink(rng, n_layers - 1, m)
+            res = arr.run_graph(g)
+            checks.append((float(res.value), solve_backward(g).optimum))
+        return checks
+
+    for got, want in benchmark(run_all):
+        assert np.isclose(got, want)

@@ -1,0 +1,117 @@
+"""FIG5 — The feedback systolic array (paper Figure 5).
+
+Paper artifacts:
+
+* the 15-iteration walkthrough on the Fig. 1(b) graph (N = 4 stages,
+  m = 3 values: ``(N+1)·m = 15``);
+* the general ``(N+1)·m`` schedule with PU ``((N−1)m² + m)/((N+1)m²) ≈ 1``;
+* the input-bandwidth claim: only node values enter the array (``N·m``
+  words) instead of edge costs (``(N−1)·m²`` words) — "an order-of-
+  magnitude reduction in the input overhead";
+* optimal-path extraction via the path registers in ``P_m``.
+
+All four are reproduced and asserted below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_node_value
+from repro.graphs import fig1b_problem, traffic_light_problem
+from repro.systolic import FeedbackSystolicArray, feedback_pu
+from _benchutil import print_table
+
+SWEEP = [(4, 3), (8, 4), (16, 8), (32, 8), (64, 16)]
+
+
+def random_problem(rng, n, m):
+    return traffic_light_problem(rng, n, m)
+
+
+def test_fig5_paper_walkthrough(benchmark):
+    p = fig1b_problem()
+    arr = FeedbackSystolicArray()
+    res = benchmark(arr.run, p)
+    assert res.report.iterations == 15  # "completed in 15 iterations"
+    ref = solve_node_value(p)
+    assert np.isclose(res.optimum, ref.optimum)
+    assert np.isclose(p.to_graph().path_cost(res.path.nodes), res.optimum)
+    print(
+        f"\nFig. 5 walkthrough: optimum={res.optimum}, path={res.path.nodes}, "
+        f"iterations={res.report.iterations} (paper: 15)"
+    )
+
+
+def test_fig5_schedule_and_pu_sweep(benchmark, rng):
+    arr = FeedbackSystolicArray()
+
+    def run_all():
+        rows = []
+        for n, m in SWEEP:
+            p = random_problem(rng, n, m)
+            res = arr.run(p)
+            ref = solve_node_value(p)
+            assert np.isclose(res.optimum, ref.optimum)
+            rows.append(
+                [
+                    n,
+                    m,
+                    res.report.iterations,
+                    (n + 1) * m,
+                    f"{res.report.processor_utilization:.4f}",
+                    f"{feedback_pu(n, m):.4f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Fig. 5 feedback array: schedule and PU vs (N, m)",
+        ["N", "m", "iterations", "(N+1)m", "PU_measured", "PU_paper"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] == row[3]  # exact schedule formula
+        assert float(row[4]) == pytest.approx(float(row[5]))
+    assert float(rows[-1][4]) > 0.95  # PU -> 1
+
+
+def test_fig5_input_bandwidth_claim(benchmark, rng):
+    arr = FeedbackSystolicArray()
+
+    def run_all():
+        rows = []
+        for n, m in SWEEP:
+            p = random_problem(rng, n, m)
+            res = arr.run(p)
+            node, edge = p.input_bandwidth()
+            assert res.report.input_words == node
+            rows.append([n, m, node, edge, f"{edge / node:.1f}x"])
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Section 3.2 input-bandwidth claim: node values vs edge costs",
+        ["N", "m", "node_words(in)", "edge_words(avoided)", "reduction"],
+        rows,
+    )
+    # The reduction factor grows with m — order-of-magnitude at m = 16.
+    assert float(rows[-1][4].rstrip("x")) > 10.0
+
+
+def test_fig5_path_registers(benchmark, rng):
+    arr = FeedbackSystolicArray()
+
+    def run_all():
+        out = []
+        for seed in range(5):
+            p = random_problem(np.random.default_rng(seed), 8, 5)
+            res = arr.run(p)
+            out.append((p, res))
+        return out
+
+    for p, res in benchmark(run_all):
+        # Traced path must realize the reported optimum on the graph.
+        assert np.isclose(p.to_graph().path_cost(res.path.nodes), res.optimum)

@@ -1,0 +1,93 @@
+"""FIG6 — Figure 6: optimal granularity of parallel divide-and-conquer.
+
+Paper artifact: for N = 4096 equal-size matrices multiplied on K
+synchronous systolic arrays, plot T and K·T² against K (eq. 29); the
+minimum of K·T² falls near N/log₂N (the paper quotes K = 431 or 465) and
+the curve is jagged because the wind-down time drops in steps.
+
+Reproduced here: the full K-sweep of both the closed form and the
+round-synchronous scheduler simulation, the exact integer argmin, and
+the shape assertions.  The measured argmin of the published formula is
+K = 399 with the paper's quoted 431/465 within 10% of the minimum —
+see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnc import (
+    argmin_kt2,
+    kt2,
+    kt2_curve,
+    optimal_granularity,
+    rounds_only,
+    schedule_time,
+)
+from _benchutil import print_table
+
+N = 4096
+K_SWEEP = list(range(2, N + 1))
+
+
+def compute_curve() -> np.ndarray:
+    return kt2_curve(N, K_SWEEP)
+
+
+def test_fig6_kt2_curve(benchmark):
+    curve = benchmark(compute_curve)
+    best_idx = int(np.argmin(curve))
+    best_k = K_SWEEP[best_idx]
+
+    # Reproduce the figure's series at the paper's interesting points.
+    sample_ks = [64, 128, 256, 341, 399, 431, 465, 512, 1024, 2048]
+    rows = []
+    for k in sample_ks:
+        st = schedule_time(N, k)
+        rows.append([k, st.computation, st.wind_down, st.total, int(kt2(N, k))])
+    print_table(
+        f"Figure 6 (N={N}): schedule time and KT^2 vs K",
+        ["K", "T_c", "T_w", "T", "K*T^2"],
+        rows,
+    )
+    print(
+        f"argmin KT^2: K={best_k} (KT^2={curve[best_idx]:.0f}); "
+        f"N/log2N = {optimal_granularity(N):.0f}; paper quotes K=431 or 465"
+    )
+
+    # Shape claims: the minimum sits in the N/log2N valley …
+    assert 0.7 * optimal_granularity(N) <= best_k <= 2.1 * optimal_granularity(N)
+    # … the paper's quoted minima are near-optimal …
+    assert kt2(N, 431) <= 1.10 * curve[best_idx]
+    assert kt2(N, 465) <= 1.10 * curve[best_idx]
+    # … and far-off K are clearly worse (the curve is a real valley).
+    assert kt2(N, 16) > 3 * curve[best_idx]
+    assert kt2(N, 4096) > 3 * curve[best_idx]
+
+
+def test_fig6_simulation_confirms_closed_form(benchmark):
+    # The event-driven scheduler reproduces eq. (29) exactly over the
+    # formula's validity domain (K <= N/2).
+    ks = list(range(2, N // 2, 37))
+
+    def simulate():
+        return [rounds_only(N, k) for k in ks]
+
+    sim = benchmark(simulate)
+    for k, t in zip(ks, sim):
+        assert t == schedule_time(N, k).total, k
+
+
+def test_fig6_jaggedness(benchmark):
+    # "the curve is not smooth": adjacent K values jump in both directions.
+    curve = benchmark(lambda: kt2_curve(N, list(range(300, 600))))
+    diffs = np.diff(curve)
+    assert (diffs > 0).any() and (diffs < 0).any()
+
+
+def test_fig6_t_monotone_in_k(benchmark):
+    times = benchmark(
+        lambda: [schedule_time(N, k).total for k in (1, 4, 16, 64, 256, 1024)]
+    )
+    assert times == sorted(times, reverse=True)

@@ -1,0 +1,95 @@
+"""MESH — the matrix-multiplication unit of the D&C schedule, in cycles.
+
+Section 4 treats "the time to multiply two matrices by a systolic array"
+as the constant ``T₁`` and cites the authors' own array-design paper
+[19] for the unit.  This bench instantiates the unit — the classic 2-D
+mesh with stationary results — measures ``T₁ = 3m − 2`` cycles, and
+re-expresses the Figure-6 granularity result in *clock cycles* instead
+of abstract rounds: multiplying the round count by a measured ``T₁``
+rescales the KT² curve without moving its argmin (K·(T·T₁)² =
+T₁²·K·T², a constant factor), which the bench asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dnc import argmin_kt2, kt2, schedule_time
+from repro.semiring import MIN_PLUS, matmul
+from repro.systolic import MeshMatrixMultiplier, mesh_cycles
+from _benchutil import print_table
+
+M_SWEEP = [2, 4, 8, 12]
+
+
+def test_mesh_t1_cycles(benchmark, rng):
+    mm = MeshMatrixMultiplier()
+
+    def run_all():
+        rows = []
+        for m in M_SWEEP:
+            a = rng.uniform(0, 9, (m, m))
+            b = rng.uniform(0, 9, (m, m))
+            res = mm.run(a, b)
+            assert np.allclose(res.value, matmul(MIN_PLUS, a, b))
+            rows.append(
+                [
+                    m,
+                    res.report.wall_ticks,
+                    3 * m - 2,
+                    res.report.total_ops,
+                    f"{res.report.processor_utilization:.3f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Mesh matmul unit: T1 in cycles (paper's [19])",
+        ["m", "cycles", "3m-2", "ops", "PU"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] == row[2]
+        assert row[3] == row[0] ** 3  # one op per (i, j, k)
+
+
+def test_fig6_in_cycles(benchmark):
+    # Rescaling Figure 6 by a real T1 keeps the argmin fixed.
+    n, m = 4096, 8
+    t1 = mesh_cycles(m, m, m)
+
+    def sweep():
+        best_k, best_v = None, float("inf")
+        for k in range(2, n + 1, 1):
+            v = kt2(n, k, t1=float(t1))
+            if v < best_v:
+                best_k, best_v = k, v
+        return best_k, best_v
+
+    best_k, best_v = benchmark(sweep)
+    abstract_k, abstract_v = argmin_kt2(n, k_min=2, k_max=n)
+    print(
+        f"\nFigure 6 in cycles (T1 = {t1} for m = {m}): argmin K = {best_k}, "
+        f"KT^2 = {best_v:.0f} cycles^2 (= T1^2 x {abstract_v:.0f})"
+    )
+    assert best_k == abstract_k
+    assert best_v == pytest.approx(t1 * t1 * abstract_v)
+
+
+def test_mesh_pu_limit(benchmark, rng):
+    # PU = m^3 / ((3m-2) m^2) -> 1/3: the mesh trades utilization for
+    # the wavefront's O(m) latency.
+    def run_all():
+        out = []
+        for m in M_SWEEP:
+            a = rng.uniform(0, 9, (m, m))
+            b = rng.uniform(0, 9, (m, m))
+            out.append(MeshMatrixMultiplier().run(a, b).report.processor_utilization)
+        return out
+
+    pus = benchmark(run_all)
+    # PU = m/(3m-2): decreasing from 1/2 (m=2) toward the 1/3 limit.
+    assert pus == sorted(pus, reverse=True)
+    assert abs(pus[-1] - 1 / 3) < 0.05

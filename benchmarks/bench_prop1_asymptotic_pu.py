@@ -1,0 +1,81 @@
+"""PROP1 — Asymptotic processor utilization (Proposition 1, eq. 17).
+
+Paper artifact: for k(N) systolic arrays multiplying N matrices,
+
+    lim PU(k, N) = 0            if c∞ = lim k/(N/log₂N) = ∞,
+                 = 1/(1 + c∞)   if 0 < c∞ < ∞,
+                 = 1            if c∞ = 0,
+
+with the worked example k = √N ⇒ c∞ = 0 ⇒ PU → 1.
+
+Reproduced here: PU(k(N), N) series under five growth schedules,
+checked against the predicted limits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dnc import asymptotic_pu, asymptotic_pu_limit
+from _benchutil import print_table
+
+N_VALUES = [2**i for i in range(10, 24, 2)]
+
+REGIMES = [
+    ("sqrt(N)          (c=0)", lambda n: int(math.sqrt(n)), 0.0),
+    ("N/log2(N)        (c=1)", lambda n: max(1, int(n / math.log2(n))), 1.0),
+    ("2N/log2(N)       (c=2)", lambda n: max(1, int(2 * n / math.log2(n))), 2.0),
+    ("N/(2 log2(N))  (c=1/2)", lambda n: max(1, int(n / (2 * math.log2(n)))), 0.5),
+    ("N                (c=inf)", lambda n: n, float("inf")),
+]
+
+
+def compute_series():
+    return [
+        (name, asymptotic_pu(fn, N_VALUES), asymptotic_pu_limit(c))
+        for name, fn, c in REGIMES
+    ]
+
+
+def test_prop1_limits(benchmark):
+    series = benchmark(compute_series)
+    rows = []
+    for name, pts, limit in series:
+        rows.append(
+            [name]
+            + [f"{pu:.3f}" for _n, pu in pts]
+            + [f"{limit:.3f}"]
+        )
+    print_table(
+        "Proposition 1: PU(k(N), N) under c∞ regimes",
+        ["k(N)"] + [f"N=2^{int(math.log2(n))}" for n in N_VALUES] + ["limit"],
+        rows,
+    )
+    for name, pts, limit in series:
+        final = pts[-1][1]
+        first = pts[0][1]
+        # Convergence toward the eq.-(17) limit...
+        assert abs(final - limit) < 0.12, name
+        # ...and monotone movement toward it from the small-N end.
+        assert abs(final - limit) <= abs(first - limit) + 1e-9, name
+
+
+def test_prop1_sqrt_example(benchmark):
+    # The paper's worked example: k = sqrt(N) gives PU -> 1.
+    pts = benchmark(
+        asymptotic_pu, lambda n: int(math.sqrt(n)), [2**i for i in range(12, 26, 2)]
+    )
+    assert pts[-1][1] > 0.98
+
+
+def test_prop1_ordering(benchmark):
+    # At fixed N, larger c∞ regimes utilize processors less.
+    def at_fixed_n():
+        n = 1 << 20
+        return [fn(n) and asymptotic_pu(fn, [n])[0][1] for _name, fn, _c in REGIMES]
+
+    pu = benchmark(at_fixed_n)
+    # sqrt(N) > N/2log > N/log > 2N/log > N regimes.
+    assert pu[0] > pu[3] > pu[1] > pu[2] > pu[4]

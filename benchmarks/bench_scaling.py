@@ -1,0 +1,71 @@
+"""SCALING — throughput of the vectorized substrate at realistic sizes.
+
+Not a paper artifact: these benches guard the performance of the NumPy
+hot paths (the HPC-guide discipline — measure, don't guess), so
+regressions in the broadcast-reduce matmul, the stage sweeps, or the
+elimination engine are visible in CI history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import banded_objective, eliminate, solve_backward, solve_matrix_chain
+from repro.graphs import single_source_sink, uniform_multistage
+from repro.semiring import MIN_PLUS, batched_matmul, chain_product, matmul
+
+
+def test_scaling_matmul_512(benchmark, rng):
+    a = rng.uniform(0, 9, (512, 512))
+    b = rng.uniform(0, 9, (512, 512))
+    out = benchmark(matmul, MIN_PLUS, a, b)
+    assert out.shape == (512, 512)
+    # Spot-check one cell against the definition.
+    assert out[3, 7] == pytest.approx(np.min(a[3, :] + b[:, 7]))
+
+
+def test_scaling_batched_matmul(benchmark, rng):
+    a = rng.uniform(0, 9, (64, 64, 64))
+    b = rng.uniform(0, 9, (64, 64, 64))
+    out = benchmark(batched_matmul, MIN_PLUS, a, b)
+    assert out.shape == (64, 64, 64)
+    assert np.allclose(out[5], matmul(MIN_PLUS, a[5], b[5]))
+
+
+def test_scaling_long_sweep(benchmark, rng):
+    # 500 stages x 128 states: ~8.2M edge relaxations per solve.
+    g = uniform_multistage(rng, 500, 128)
+    sol = benchmark(solve_backward, g)
+    assert np.isfinite(sol.optimum)
+    assert sol.op_count == 499 * 128 * 128
+
+
+def test_scaling_chain_product(benchmark, rng):
+    mats = [rng.uniform(0, 9, (128, 128)) for _ in range(64)]
+    out = benchmark(chain_product, MIN_PLUS, mats)
+    assert out.shape == (128, 128)
+
+
+def test_scaling_matrix_chain_dp(benchmark, rng):
+    dims = list(rng.integers(1, 200, size=201))  # N = 200: ~1.3M (i,j,k)
+    order = benchmark(solve_matrix_chain, dims)
+    assert order.cost > 0
+
+
+def test_scaling_elimination(benchmark, rng):
+    sizes = [12] * 10  # peak joint table 12^3, ten eliminations
+    obj = banded_objective(rng, sizes)
+    res = benchmark(eliminate, obj)
+    assert np.isfinite(res.optimum)
+
+
+def test_scaling_systolic_simulator(benchmark, rng):
+    # The scalar RTL loop: keep its constant factor honest.
+    from repro.systolic import FeedbackSystolicArray
+
+    from repro.graphs import traffic_light_problem
+
+    p = traffic_light_problem(rng, 24, 12)
+    res = benchmark(FeedbackSystolicArray().run, p)
+    assert res.report.iterations == 25 * 12

@@ -1,0 +1,87 @@
+"""SERIAL — The uniprocessor baseline the systolic claims rest on.
+
+Paper artifact: "it takes (N−2)m² + m iterations to solve the problem
+with a single processor" versus ``N·m`` iterations on ``m`` PEs — the
+numerator and denominator of eq. (9).
+
+Reproduced here: measured sequential operation counts against the closed
+form, the systolic iteration counts, and the resulting speedup series
+(→ m), for both the edge-fed (Fig. 3) and node-fed (Fig. 5) pipelines.
+Also times the *actual* numpy evaluation as the library's practical
+sequential baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_backward, solve_node_value
+from repro.graphs import single_source_sink, traffic_light_problem
+from repro.systolic import FeedbackSystolicArray, PipelinedMatrixStringArray
+from _benchutil import print_table
+
+SWEEP = [(8, 4), (16, 4), (32, 8), (64, 8), (128, 8)]
+
+
+def test_serial_op_count_formula(benchmark, rng):
+    def run_all():
+        rows = []
+        for n_layers, m in SWEEP:
+            g = single_source_sink(rng, n_layers - 1, m)
+            formula = (n_layers - 2) * m * m + m
+            assert g.serial_op_count() == formula
+            res = PipelinedMatrixStringArray().run_graph(g)
+            rows.append(
+                [
+                    n_layers,
+                    m,
+                    formula,
+                    res.report.iterations,
+                    f"{formula / res.report.iterations:.2f}",
+                    m,
+                ]
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Uniprocessor (N-2)m^2+m vs systolic (N-1)m iterations",
+        ["N", "m", "serial_ops", "systolic_iters", "speedup", "m (bound)"],
+        rows,
+    )
+    for row in rows:
+        assert float(row[4]) <= row[5]
+    # Long strings approach the m-fold bound.
+    assert float(rows[-1][4]) > 0.9 * rows[-1][5]
+
+
+def test_feedback_serial_comparison(benchmark, rng):
+    def run_all():
+        rows = []
+        for n, m in [(8, 4), (16, 8), (32, 8)]:
+            p = traffic_light_problem(rng, n, m)
+            seq = solve_node_value(p)
+            fb = FeedbackSystolicArray().run(p)
+            assert np.isclose(seq.optimum, fb.optimum)
+            rows.append(
+                [n, m, seq.op_count, fb.report.iterations,
+                 f"{seq.op_count / fb.report.iterations:.2f}"]
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    print_table(
+        "Fig. 5 vs sequential sweep (node-value problems)",
+        ["N", "m", "serial_ops", "fig5_iters", "speedup"],
+        rows,
+    )
+
+
+def test_numpy_sequential_baseline_scaling(benchmark, rng):
+    # The vectorized sweep is the library's practical oracle; time it at
+    # a realistic size so regressions in the hot path are visible.
+    g = single_source_sink(rng, 199, 64)  # 200 layers, m = 64
+    sol = benchmark(solve_backward, g)
+    assert np.isfinite(sol.optimum)
+    assert sol.op_count == g.serial_op_count() + 64  # + the sink layer

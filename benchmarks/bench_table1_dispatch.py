@@ -1,0 +1,81 @@
+"""TAB1 — Table 1: the class → method → architecture dispatch.
+
+Paper artifact: the summary table mapping each of the four DP classes to
+its suitable solution method and functional requirements.
+
+Reproduced here: one representative problem per class pushed through the
+library's ``solve()`` dispatcher; each must route to the Table-1 method,
+produce the sequential oracle's optimum, and report a validated result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DPClass, MatrixChainProblem, solve
+from repro.dp import banded_objective
+from repro.graphs import traffic_light_problem, uniform_multistage
+from _benchutil import print_table
+
+
+def build_problems(rng):
+    return [
+        ("monadic-serial", traffic_light_problem(rng, 6, 5), DPClass.MONADIC_SERIAL, "fig5"),
+        ("polyadic-serial", uniform_multistage(rng, 48, 3), DPClass.POLYADIC_SERIAL, "divide-and-conquer"),
+        ("monadic-nonserial", banded_objective(rng, [4, 3, 4, 3]), DPClass.MONADIC_NONSERIAL, "grouping"),
+        ("polyadic-nonserial", MatrixChainProblem((30, 35, 15, 5, 10, 20, 25)), DPClass.POLYADIC_NONSERIAL, "parenthesizer"),
+    ]
+
+
+def test_table1_dispatch(benchmark, rng):
+    problems = build_problems(rng)
+
+    def run_all():
+        return [(name, solve(p), want_cls, want_method) for name, p, want_cls, want_method in problems]
+
+    results = benchmark(run_all)
+    rows = []
+    for name, rep, want_cls, want_method in results:
+        rows.append(
+            [
+                name,
+                rep.dp_class.name,
+                rep.method,
+                f"{rep.optimum:.3f}",
+                rep.validated,
+            ]
+        )
+        assert rep.dp_class is want_cls
+        assert want_method in rep.method
+        assert rep.validated
+    print_table(
+        "Table 1: dispatch per DP class",
+        ["problem class", "classified", "method", "optimum", "validated"],
+        rows,
+    )
+
+
+def test_table1_known_optimum(benchmark):
+    rep = benchmark(solve, MatrixChainProblem((30, 35, 15, 5, 10, 20, 25)))
+    assert rep.optimum == 15125.0  # CLRS-known optimal order cost
+
+
+def test_table1_architecture_overrides(benchmark, rng):
+    from repro.graphs import fig1a_graph
+
+    def run_all():
+        return [
+            solve(fig1a_graph()).method,
+            solve(fig1a_graph(), prefer="broadcast").method,
+            solve(fig1a_graph(), prefer="sequential").method,
+            solve(MatrixChainProblem((2, 3, 4, 5)), prefer="broadcast").method,
+        ]
+
+    methods = benchmark(run_all)
+    assert methods == [
+        "fig3-pipelined-array",
+        "fig4-broadcast-array",
+        "sequential-sweep",
+        "parenthesizer-broadcast",
+    ]

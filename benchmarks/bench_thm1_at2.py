@@ -1,0 +1,77 @@
+"""THM1 — The AT² lower bound for divide-and-conquer products (Theorem 1).
+
+Paper artifact: ``S(N)·T²(N) ≥ Θ(N·log₂N)·T₁²`` with equality when
+``S(N) = Θ(N/log₂N)`` — the granularity result that also fixes the
+Figure-6 optimum.
+
+Reproduced here: the S·T² surface over processor-count regimes at
+several N, showing the Θ(N/log₂N) column attains the bound order while
+under- and over-provisioned regimes diverge polynomially/logarithmically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dnc import at2_lower_bound, at2_surface, optimal_granularity
+from _benchutil import print_table
+
+N_VALUES = [2**i for i in (10, 14, 18, 22)]
+
+REGIMES = [
+    ("S=1", lambda n: 1),
+    ("S=sqrt(N)", lambda n: max(1, int(math.sqrt(n)))),
+    ("S=N/log2N", lambda n: max(1, int(optimal_granularity(n)))),
+    ("S=N/4", lambda n: max(1, n // 4)),
+    ("S=N", lambda n: n),
+]
+
+
+def compute_surface():
+    out = []
+    for name, fn in REGIMES:
+        row = [name]
+        for n in N_VALUES:
+            ratio = at2_surface(n, fn(n)) / at2_lower_bound(n)
+            row.append(f"{ratio:.2f}")
+        out.append(row)
+    return out
+
+
+def test_thm1_surface(benchmark):
+    rows = benchmark(compute_surface)
+    print_table(
+        "Theorem 1: S*T^2 / (N*log2(N)) across granularity regimes",
+        ["regime"] + [f"N=2^{int(math.log2(n))}" for n in N_VALUES],
+        rows,
+    )
+    by_name = {r[0]: [float(x) for x in r[1:]] for r in rows}
+    # The optimal regime stays within a constant of the bound...
+    assert max(by_name["S=N/log2N"]) < 8.0
+    # ...while S=1 diverges like N/logN...
+    assert by_name["S=1"][-1] > by_name["S=1"][0] * 100
+    # ...and S=N diverges like log N.
+    assert by_name["S=N"][-1] > by_name["S=N"][0]
+    # At the largest N, the optimal column beats every other regime.
+    last = {name: vals[-1] for name, vals in by_name.items()}
+    assert last["S=N/log2N"] == min(last.values())
+
+
+def test_thm1_minimum_location(benchmark):
+    # Scan S exhaustively at moderate N: the argmin of S*T^2 sits within
+    # a small factor of N/log2N.
+    n = 1 << 14
+
+    def scan():
+        best_s, best_v = 1, float("inf")
+        for s in range(1, n + 1, 7):
+            v = at2_surface(n, s)
+            if v < best_v:
+                best_s, best_v = s, v
+        return best_s
+
+    best_s = benchmark(scan)
+    opt = optimal_granularity(n)
+    assert opt / 4 <= best_s <= opt * 4

@@ -1,0 +1,27 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index): it computes the paper's series
+with this library, prints the rows the paper reports, asserts the
+*shape* claims (who wins, by what order, where crossovers fall), and
+times the computation with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the reproduced tables inline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xBEEF)
+
+
+

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Monadic-nonserial DP: staffing with sliding-window interactions (§6.1).
+
+A service schedules staffing levels ``V_k`` for N consecutive shifts.
+Costs couple *three* consecutive shifts (handover + fatigue effects), so
+the objective is monadic-nonserial:
+
+    min Σ_k g_k(V_k, V_{k+1}, V_{k+2})
+
+This script solves it three ways, per Section 6.1 of the paper:
+
+1. direct variable elimination (eqs. 34-39), with the step count
+   checked against eq. (40);
+2. the grouping transform (eq. 41): composite variables
+   ``V'_k = (V_k, V_{k+1})`` turn the problem monadic-serial, solvable
+   on the Section-3 machinery;
+3. the one-call dispatcher.
+
+Run:  python examples/resource_allocation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import solve
+from repro.dp import (
+    NonserialObjective,
+    eliminate,
+    eq40_step_count,
+    group_variables_to_serial,
+    solve_backward,
+)
+
+
+def build_problem(n_shifts: int, max_staff: int) -> NonserialObjective:
+    """Staffing objective over three-shift windows."""
+    demand = 2.0 + 1.5 * np.sin(np.arange(n_shifts) * 0.9)
+
+    def window_cost(k: int):
+        def g(a, b, c):
+            under = np.maximum(demand[k] - a, 0) ** 2  # unmet demand
+            wage = 1.0 * a + 1.0 * b + 1.0 * c
+            churn = 0.8 * np.abs(a - b) + 0.8 * np.abs(b - c)  # handovers
+            fatigue = 0.3 * np.maximum(a + b + c - 3 * demand[k], 0)
+            return under + 0.2 * wage + churn + fatigue
+
+        return g
+
+    domains = {f"V{k + 1}": np.arange(max_staff + 1, dtype=float) for k in range(n_shifts)}
+    terms = tuple(
+        ((f"V{k + 1}", f"V{k + 2}", f"V{k + 3}"), window_cost(k))
+        for k in range(n_shifts - 2)
+    )
+    return NonserialObjective(domains=domains, terms=terms)
+
+
+def main() -> None:
+    n_shifts, max_staff = 8, 4
+    obj = build_problem(n_shifts, max_staff)
+    sizes = [obj.domains[v].size for v in obj.variables]
+    print(f"Staffing {n_shifts} shifts, {max_staff + 1} levels each; "
+          f"objective couples 3-shift windows (monadic-nonserial)\n")
+
+    res = eliminate(obj)
+    print(f"Variable elimination: optimum = {res.optimum:.3f}")
+    print("  staffing plan:", {v: int(obj.domains[v][i]) for v, i in sorted(res.assignment.items())})
+    print(f"  steps: {res.total_steps} (eq. 40 predicts {eq40_step_count(sizes)}), "
+          f"peak table: {res.max_table_size}\n")
+    assert res.total_steps == eq40_step_count(sizes)
+
+    graph, states = group_variables_to_serial(obj)
+    serial = solve_backward(graph)
+    print(f"Grouping transform (eq. 41): composite stages {graph.stage_sizes}")
+    print(f"  serial-sweep optimum = {serial.optimum:.3f}")
+    assert np.isclose(serial.optimum, res.optimum)
+
+    report = solve(obj)
+    print(f"\nsolve() dispatch: {report.method}, optimum {report.optimum:.3f}, "
+          f"validated={report.validated}")
+    assert np.isclose(report.optimum, res.optimum)
+    print("\nAll three routes agree.")
+
+
+if __name__ == "__main__":
+    main()

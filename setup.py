@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline evaluation environment lacks ``wheel``, so PEP 660 editable
+installs cannot build; this shim lets ``pip install -e .`` take the
+legacy ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small demonstration front-end over the library:
+
+* ``python -m repro demo`` — classify and solve one representative
+  problem per Table-1 class, printing the dispatch report.
+* ``python -m repro fig6 [--n N]`` — regenerate the Figure-6 sweep.
+* ``python -m repro spacetime [--stages N] [--values M]`` — run the
+  Fig. 5 array on a random instance and print its space-time diagram.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from . import MatrixChainProblem, solve
+    from .dp import banded_objective
+    from .graphs import traffic_light_problem, uniform_multistage
+
+    rng = np.random.default_rng(args.seed)
+    problems = [
+        ("monadic-serial", traffic_light_problem(rng, 6, 5)),
+        ("polyadic-serial", uniform_multistage(rng, 40, 3)),
+        ("monadic-nonserial", banded_objective(rng, [4, 3, 4, 3])),
+        ("polyadic-nonserial", MatrixChainProblem((30, 35, 15, 5, 10, 20, 25))),
+    ]
+    print(f"{'class':20s} {'method':36s} {'optimum':>12s}  validated")
+    for name, problem in problems:
+        rep = solve(problem)
+        print(f"{name:20s} {rep.method:36s} {rep.optimum:12.3f}  {rep.validated}")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from .dnc import argmin_kt2, kt2, optimal_granularity, schedule_time
+
+    n = args.n
+    best_k, best_v = argmin_kt2(n, k_min=2, k_max=n)
+    print(f"N = {n}: argmin of K*T^2 is K = {best_k} (KT^2 = {best_v:.0f}); "
+          f"N/log2(N) = {optimal_granularity(n):.0f}")
+    ks = sorted({max(2, n // d) for d in (64, 32, 16, 12, 10, 8, 6, 4, 2)} | {best_k})
+    print(f"{'K':>6s} {'T_c':>5s} {'T_w':>5s} {'T':>5s} {'K*T^2':>12s}")
+    for k in ks:
+        st = schedule_time(n, k)
+        print(f"{k:6d} {st.computation:5d} {st.wind_down:5d} {st.total:5d} "
+              f"{kt2(n, k):12.0f}")
+    return 0
+
+
+def _cmd_spacetime(args: argparse.Namespace) -> int:
+    from .graphs import traffic_light_problem
+    from .systolic import FeedbackSystolicArray, render_spacetime
+
+    rng = np.random.default_rng(args.seed)
+    problem = traffic_light_problem(rng, args.stages, args.values)
+    res = FeedbackSystolicArray().run(problem, record_trace=True)
+    print(
+        f"Fig. 5 array on {args.stages} stages x {args.values} values: "
+        f"optimum {res.optimum:.3f}, path {res.path.nodes}, "
+        f"{res.report.iterations} iterations\n"
+    )
+    print(render_spacetime(res.trace, args.values, res.report.iterations))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Systolic processing for dynamic programming (Wah & Li, 1985)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_demo = sub.add_parser("demo", help="solve one problem per Table-1 class")
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_fig6 = sub.add_parser("fig6", help="regenerate the Figure-6 sweep")
+    p_fig6.add_argument("--n", type=int, default=4096)
+    p_fig6.set_defaults(func=_cmd_fig6)
+
+    p_st = sub.add_parser("spacetime", help="Fig. 5 space-time diagram")
+    p_st.add_argument("--stages", type=int, default=4)
+    p_st.add_argument("--values", type=int, default=3)
+    p_st.add_argument("--seed", type=int, default=0)
+    p_st.set_defaults(func=_cmd_spacetime)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

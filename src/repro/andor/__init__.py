@@ -1,0 +1,52 @@
+"""AND/OR graphs: construction, counting, search, serialization, mapping.
+
+The Section-5/6.2 machinery: folded AND/OR-trees of multistage problems
+(Figure 7), the matrix-chain graph (Figure 2), node-count analysis
+(Theorem 2 / eq. 32), bottom-up and AO*-style search, the Figure-8
+serialization transform and the planar array mapping.
+"""
+
+from .graph import AndOrGraph, AndOrNode, NodeKind, SolutionTree
+from .build import FoldedMultistage, MatrixChainGraph, fold_multistage, matrix_chain_andor
+from .counts import (
+    du_dp,
+    is_valid_instance,
+    optimal_partition,
+    u_and_nodes,
+    u_or_nodes,
+    u_total_nodes,
+)
+from .search import AOStarResult, BottomUpResult, ao_star, bottom_up
+from .serialize import SerializationResult, serialize
+from .mapping import LevelMapping, map_to_array
+from .array_sim import AndOrArrayRun, simulate_andor_array
+from .aostar import AOStarExplicitResult, ao_star_explicit
+
+__all__ = [
+    "AndOrGraph",
+    "AndOrNode",
+    "NodeKind",
+    "SolutionTree",
+    "FoldedMultistage",
+    "MatrixChainGraph",
+    "fold_multistage",
+    "matrix_chain_andor",
+    "u_total_nodes",
+    "u_and_nodes",
+    "u_or_nodes",
+    "du_dp",
+    "optimal_partition",
+    "is_valid_instance",
+    "bottom_up",
+    "BottomUpResult",
+    "ao_star",
+    "AOStarResult",
+    "serialize",
+    "SerializationResult",
+    "map_to_array",
+    "LevelMapping",
+    "simulate_andor_array",
+    "AndOrArrayRun",
+    "ao_star_explicit",
+    "AOStarExplicitResult",
+]

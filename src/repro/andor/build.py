@@ -1,0 +1,159 @@
+"""Builders for the paper's AND/OR-graph representations.
+
+Two constructions:
+
+* :func:`fold_multistage` — the Section-5 / Figure-7 regular folded
+  AND/OR-tree of a uniform multistage graph with partition factor ``p``:
+  the ``N = p^Q``-layer graph is recursively split into ``p`` equal
+  segments; every stage-pair cost matrix entry is an OR node whose
+  ``m^{p-1}`` AND children enumerate the intermediate-vertex choices at
+  the ``p − 1`` split boundaries.  Its node count is the ``u(p)`` of
+  eq. (32), which Theorem 2 minimizes at ``p = 2``.
+* :func:`matrix_chain_andor` — the Figure-2 graph of the matrix-chain
+  ordering problem (eq. 6): OR node per subchain ``(i, j)``, AND node per
+  split ``k`` carrying the local cost ``r_{i-1}·r_k·r_j``.  This graph is
+  *nonserial* (arcs skip levels) and is the input to the Figure-8
+  serialization transform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from ..graphs import MultistageGraph
+from .graph import AndOrGraph
+
+__all__ = ["FoldedMultistage", "fold_multistage", "MatrixChainGraph", "matrix_chain_andor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FoldedMultistage:
+    """The folded AND/OR-tree of a multistage graph, plus its root index.
+
+    ``root_or[u, v]`` is the OR node holding the optimal stage-0→stage-N
+    cost from source vertex ``u`` to sink vertex ``v``.
+    """
+
+    graph: AndOrGraph
+    root_or: np.ndarray  # (m0, mN) array of node ids
+    partition: int
+    num_layers: int
+    width: int
+
+
+def _is_power(n: int, p: int) -> bool:
+    while n % p == 0:
+        n //= p
+    return n == 1
+
+
+def fold_multistage(graph: MultistageGraph, p: int = 2) -> FoldedMultistage:
+    """Build the Figure-7 folded AND/OR-tree with partition factor ``p``.
+
+    Requires a uniform graph whose layer count ``N`` is a power of
+    ``p``.  All stages must have the same width ``m`` (sources/sinks
+    included — the paper's Section-5 setting); single-source problems are
+    read off the root matrix afterwards.
+    """
+    if p < 2:
+        raise ValueError("partition factor p must be >= 2")
+    n_layers = graph.num_layers
+    sizes = set(graph.stage_sizes)
+    if len(sizes) != 1:
+        raise ValueError(
+            f"fold_multistage needs uniform stage sizes, got {graph.stage_sizes}"
+        )
+    m = sizes.pop()
+    if not _is_power(n_layers, p):
+        raise ValueError(f"layer count {n_layers} is not a power of p={p}")
+
+    ag = AndOrGraph(graph.semiring)
+    memo: dict[tuple[int, int], np.ndarray] = {}
+
+    def build(a: int, b: int) -> np.ndarray:
+        """Node-id matrix for stage interval [a, b]; entry (u, v)."""
+        key = (a, b)
+        if key in memo:
+            return memo[key]
+        span = b - a
+        ids = np.empty((m, m), dtype=np.int64)
+        if span == 1:
+            for u in range(m):
+                for v in range(m):
+                    ids[u, v] = ag.add_leaf(
+                        float(graph.costs[a][u, v]), label=("edge", a, u, v)
+                    )
+        else:
+            seg = span // p
+            bounds = [a + i * seg for i in range(p + 1)]
+            subs = [build(bounds[i], bounds[i + 1]) for i in range(p)]
+            for u in range(m):
+                for v in range(m):
+                    and_ids = []
+                    for mids in itertools.product(range(m), repeat=p - 1):
+                        chain = (u,) + mids + (v,)
+                        children = [
+                            int(subs[i][chain[i], chain[i + 1]]) for i in range(p)
+                        ]
+                        and_ids.append(
+                            ag.add_and(children, label=("sum", a, b, chain))
+                        )
+                    ids[u, v] = ag.add_or(and_ids, label=("min", a, b, u, v))
+        memo[key] = ids
+        return ids
+
+    root = build(0, n_layers)
+    return FoldedMultistage(
+        graph=ag, root_or=root, partition=p, num_layers=n_layers, width=m
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixChainGraph:
+    """The Figure-2 AND/OR graph of eq. (6), plus its root OR node."""
+
+    graph: AndOrGraph
+    root: int
+    or_node: dict[tuple[int, int], int]  # (i, j) 1-based -> node id
+    dims: tuple[int, ...]
+
+
+def matrix_chain_andor(dims: Sequence[int]) -> MatrixChainGraph:
+    """Build the AND/OR graph of the matrix-chain ordering problem.
+
+    Leaves are the trivial ``m_{i,i} = 0`` subproblems; the AND node for
+    split ``k`` of subchain ``(i, j)`` carries local cost
+    ``r_{i-1}·r_k·r_j`` (the multiplication the paper's AND-nodes
+    denote); OR nodes compare the splits.  Arcs connect levels of
+    different spans, so the graph is nonserial — ``graph.is_serial()`` is
+    False for ``N ≥ 3`` — until serialized (Figure 8).
+    """
+    dims = tuple(int(d) for d in dims)
+    if len(dims) < 2:
+        raise ValueError("need at least one matrix")
+    if any(d <= 0 for d in dims):
+        raise ValueError("dimensions must be positive")
+    n = len(dims) - 1
+    ag = AndOrGraph()
+    or_node: dict[tuple[int, int], int] = {}
+    for i in range(1, n + 1):
+        or_node[(i, i)] = ag.add_leaf(0.0, label=("m", i, i))
+    for span in range(2, n + 1):
+        for i in range(1, n - span + 2):
+            j = i + span - 1
+            ands = []
+            for k in range(i, j):
+                local = dims[i - 1] * dims[k] * dims[j]
+                ands.append(
+                    ag.add_and(
+                        [or_node[(i, k)], or_node[(k + 1, j)]],
+                        cost=float(local),
+                        label=("mul", i, k, j),
+                    )
+                )
+            or_node[(i, j)] = ag.add_or(ands, label=("m", i, j))
+    return MatrixChainGraph(graph=ag, root=or_node[(1, n)], or_node=or_node, dims=dims)

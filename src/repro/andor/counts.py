@@ -1,0 +1,95 @@
+"""Node-count analysis of folded AND/OR-trees — Theorem 2 / eq. (32).
+
+The paper derives the total node count of the Figure-7 construction for
+an ``(N+1)``-stage, width-``m`` graph partitioned with factor ``p``:
+
+    u(p) = (N − 1)/(p − 1) · m^{p+1}  +  (N·p − 1)/(p − 1) · m²
+
+and proves (Theorem 2) that ``u`` increases monotonically in ``p`` for
+``m ≥ 3, p ≥ 2`` (and ``m ≥ 2, p ≥ 3``), so the binary partition is
+optimal.  These closed forms are validated against *constructed* graphs
+in the tests and swept by the Theorem-2 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "u_total_nodes",
+    "u_and_nodes",
+    "u_or_nodes",
+    "du_dp",
+    "optimal_partition",
+    "is_valid_instance",
+]
+
+
+def is_valid_instance(n_layers: int, p: int) -> bool:
+    """True when ``n_layers`` is an exact power of ``p`` (paper's N = p^Q)."""
+    if n_layers < 1 or p < 2:
+        return False
+    while n_layers % p == 0:
+        n_layers //= p
+    return n_layers == 1
+
+
+def u_and_nodes(n_layers: int, m: int, p: int) -> int:
+    """AND-node count: ``Σ_{i=0}^{log_p N − 1} p^i · m^{p+1} = (N−1)/(p−1)·m^{p+1}``."""
+    _check(n_layers, m, p)
+    return (n_layers - 1) // (p - 1) * m ** (p + 1)
+
+
+def u_or_nodes(n_layers: int, m: int, p: int) -> int:
+    """OR/leaf-level count: ``Σ_{j=0}^{log_p N} p^j · m² = (N·p−1)/(p−1)·m²``.
+
+    Includes the bottom level of ``N·m²`` cost leaves, which the paper
+    counts among the OR levels.
+    """
+    _check(n_layers, m, p)
+    return (n_layers * p - 1) // (p - 1) * m * m
+
+
+def u_total_nodes(n_layers: int, m: int, p: int) -> int:
+    """Total node count ``u(p)`` of eq. (32)."""
+    return u_and_nodes(n_layers, m, p) + u_or_nodes(n_layers, m, p)
+
+
+def du_dp(n_layers: int, m: int, p: float) -> float:
+    """The derivative of eq. (33) with ``p`` relaxed to a real.
+
+    ``∂u/∂p = (N−1)·(m^{p+1}·((p−1)·ln m − 1) − m²) / (p−1)²`` — positive
+    for ``m ≥ 3, p ≥ 2`` and ``m ≥ 2, p ≥ 3``, the monotonicity Theorem 2
+    rests on.
+    """
+    if p <= 1:
+        raise ValueError("p must exceed 1")
+    n, mm = float(n_layers), float(m)
+    return (n - 1) * (mm ** (p + 1) * ((p - 1) * math.log(mm) - 1) - mm * mm) / (
+        (p - 1) ** 2
+    )
+
+
+def optimal_partition(n_layers: int, m: int, *, p_max: int | None = None) -> tuple[int, int]:
+    """Integer argmin of ``u(p)`` over valid partition factors.
+
+    Only factors with ``N = p^Q`` are admissible.  Returns
+    ``(best p, u(best p))``; Theorem 2 says this is ``p = 2`` whenever 2
+    is admissible and ``m ≥ 2`` (for ``m = 2`` the theorem's strict
+    monotonicity needs ``p ≥ 3``, but ``u(2) ≤ u(p)`` still holds —
+    checked by the benchmark sweep).
+    """
+    if p_max is None:
+        p_max = n_layers
+    candidates = [p for p in range(2, p_max + 1) if is_valid_instance(n_layers, p)]
+    if not candidates:
+        raise ValueError(f"no admissible partition factor for N={n_layers}")
+    best = min(candidates, key=lambda p: u_total_nodes(n_layers, m, p))
+    return best, u_total_nodes(n_layers, m, best)
+
+
+def _check(n_layers: int, m: int, p: int) -> None:
+    if not is_valid_instance(n_layers, p):
+        raise ValueError(f"N={n_layers} is not a power of p={p}")
+    if m < 1:
+        raise ValueError("m must be positive")

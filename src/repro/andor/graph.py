@@ -1,0 +1,213 @@
+"""Additive AND/OR graphs (Martelli–Montanari) — the polyadic substrate.
+
+The paper represents polyadic DP problems as searches of *additive*
+acyclic AND/OR-graphs (Section 2.2, Section 5): an AND-node is solved
+when **all** children are solved and costs a monotone combination (here:
+the semiring ⊗, i.e. ``+`` for min-plus, plus an optional local arc
+cost); an OR-node is solved by its **best** child (semiring ⊕ = ``min``).
+Leaves carry given costs (edge costs of the multistage graph, or the 0 of
+``m_{i,i}``).
+
+Graphs are built bottom-up, so children always have smaller ids than
+parents and a single forward pass is a valid topological evaluation
+order — a property :meth:`AndOrGraph.evaluate` exploits and
+:meth:`AndOrGraph.add_and`/:meth:`add_or` enforce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable
+
+import numpy as np
+
+from ..semiring import MIN_PLUS, Semiring
+
+__all__ = ["NodeKind", "AndOrNode", "AndOrGraph", "SolutionTree"]
+
+
+class NodeKind(enum.Enum):
+    LEAF = "leaf"
+    AND = "and"
+    OR = "or"
+
+
+@dataclasses.dataclass(frozen=True)
+class AndOrNode:
+    """One node: id, kind, children ids, local cost, free-form label."""
+
+    id: int
+    kind: NodeKind
+    children: tuple[int, ...]
+    cost: float  # LEAF value, or AND local arc cost (⊗-combined in)
+    label: object = None
+
+
+@dataclasses.dataclass(frozen=True)
+class SolutionTree:
+    """A minimal-cost solution tree rooted at ``root``.
+
+    ``chosen[or_id]`` is the winning child of each OR node on the tree;
+    ``nodes`` is the set of node ids the tree touches.
+    """
+
+    root: int
+    cost: float
+    chosen: dict[int, int]
+    nodes: frozenset[int]
+
+
+class AndOrGraph:
+    """A mutable additive AND/OR graph with bottom-up construction."""
+
+    def __init__(self, semiring: Semiring = MIN_PLUS):
+        self.semiring = semiring
+        self.nodes: list[AndOrNode] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_leaf(self, cost: float, label: object = None) -> int:
+        """Add a terminal node with the given cost; returns its id."""
+        nid = len(self.nodes)
+        self.nodes.append(AndOrNode(nid, NodeKind.LEAF, (), float(cost), label))
+        return nid
+
+    def _check_children(self, children: Iterable[int]) -> tuple[int, ...]:
+        ch = tuple(children)
+        if not ch:
+            raise ValueError("internal nodes need at least one child")
+        nid = len(self.nodes)
+        for c in ch:
+            if not 0 <= c < nid:
+                raise ValueError(
+                    f"child {c} does not exist yet (bottom-up construction required)"
+                )
+        return ch
+
+    def add_and(
+        self, children: Iterable[int], cost: float | None = None, label: object = None
+    ) -> int:
+        """Add an AND node (⊗ of children, plus optional local cost)."""
+        ch = self._check_children(children)
+        local = self.semiring.one if cost is None else float(cost)
+        nid = len(self.nodes)
+        self.nodes.append(AndOrNode(nid, NodeKind.AND, ch, local, label))
+        return nid
+
+    def add_or(self, children: Iterable[int], label: object = None) -> int:
+        """Add an OR node (⊕ over children)."""
+        ch = self._check_children(children)
+        nid = len(self.nodes)
+        self.nodes.append(AndOrNode(nid, NodeKind.OR, ch, self.semiring.one, label))
+        return nid
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def count_kind(self, kind: NodeKind) -> int:
+        return sum(1 for n in self.nodes if n.kind is kind)
+
+    def num_arcs(self) -> int:
+        return sum(len(n.children) for n in self.nodes)
+
+    def height(self, root: int) -> int:
+        """Longest leaf-to-root arc count below ``root`` (memoized)."""
+        memo: dict[int, int] = {}
+
+        def h(nid: int) -> int:
+            if nid in memo:
+                return memo[nid]
+            node = self.nodes[nid]
+            out = 0 if not node.children else 1 + max(h(c) for c in node.children)
+            memo[nid] = out
+            return out
+
+        return h(root)
+
+    def levels(self) -> np.ndarray:
+        """Longest-path-from-leaves level of every node (leaves = 0).
+
+        This is the layering the serialization transform and the
+        level-synchronous array mapping use.
+        """
+        out = np.zeros(len(self.nodes), dtype=np.int64)
+        for node in self.nodes:  # ids are topologically ordered
+            if node.children:
+                out[node.id] = 1 + max(out[c] for c in node.children)
+        return out
+
+    def is_serial(self) -> bool:
+        """True when every arc connects adjacent levels (paper Section 5).
+
+        Serial AND/OR graphs map directly onto planar systolic arrays;
+        nonserial ones must pass through
+        :func:`repro.andor.serialize.serialize` first.
+        """
+        lv = self.levels()
+        return all(
+            lv[n.id] - lv[c] == 1 for n in self.nodes for c in n.children
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self) -> np.ndarray:
+        """Bottom-up value of every node (one topological forward pass)."""
+        sr = self.semiring
+        values = np.empty(len(self.nodes), dtype=sr.dtype)
+        for node in self.nodes:
+            if node.kind is NodeKind.LEAF:
+                values[node.id] = node.cost
+            elif node.kind is NodeKind.AND:
+                acc = node.cost
+                for c in node.children:
+                    acc = sr.scalar_mul(acc, float(values[c]))
+                values[node.id] = acc
+            else:  # OR
+                acc = sr.zero
+                for c in node.children:
+                    acc = sr.scalar_add(acc, float(values[c]))
+                values[node.id] = acc
+        return values
+
+    def solution_tree(self, root: int, values: np.ndarray | None = None) -> SolutionTree:
+        """Extract a minimal-cost solution tree below ``root``.
+
+        OR nodes keep their single best child; AND nodes keep all
+        children.  ``values`` may be passed to reuse an
+        :meth:`evaluate` result.
+        """
+        sr = self.semiring
+        if values is None:
+            values = self.evaluate()
+        chosen: dict[int, int] = {}
+        touched: set[int] = set()
+        stack = [root]
+        while stack:
+            nid = stack.pop()
+            if nid in touched:
+                continue
+            touched.add(nid)
+            node = self.nodes[nid]
+            if node.kind is NodeKind.OR:
+                # First child achieving the OR value (ties break low-id).
+                best = node.children[0]
+                for c in node.children:
+                    if float(values[c]) == float(values[nid]):
+                        best = c
+                        break
+                chosen[nid] = best
+                stack.append(best)
+            elif node.kind is NodeKind.AND:
+                stack.extend(node.children)
+        return SolutionTree(
+            root=root,
+            cost=float(values[root]),
+            chosen=chosen,
+            nodes=frozenset(touched),
+        )

@@ -1,0 +1,97 @@
+"""Mapping serial AND/OR graphs onto level-synchronous processor arrays.
+
+Section 6.2's recipe: "starting from an AND/OR-graph, a systolic array
+with planar interconnections can be designed by first serializing links
+that connect nodes not in adjacent levels … and by designing the
+appropriate control signals."  This module performs the mapping step:
+given a *serial* AND/OR graph (every arc spans exactly one level), it
+assigns one PE per node, schedules each level in one synchronous step,
+and reports the hardware/time costs — PEs per level, total steps, and
+per-step operation counts — against which Propositions 2/3 and the
+dummy-node overhead of the serialization are quantified.
+
+An OR node with ``b`` children needs ``b − 1`` sequential comparisons
+when evaluated by one PE (the paper's OR nodes are evaluated
+sequentially while AND operands must arrive simultaneously, see the
+Theorem-2 discussion); the mapping therefore also reports schedule
+lengths under a configurable per-step comparison capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .graph import AndOrGraph, NodeKind
+
+__all__ = ["LevelMapping", "map_to_array"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelMapping:
+    """A level-synchronous schedule of a serial AND/OR graph."""
+
+    num_levels: int
+    level_widths: tuple[int, ...]  # PEs required per level
+    steps: int  # total synchronous steps
+    ops_per_level: tuple[int, ...]  # ⊗/⊕ operations performed per level
+    dummy_nodes: int  # pass-through nodes occupying PEs
+    values: np.ndarray  # node values (for validation)
+
+    @property
+    def num_pes(self) -> int:
+        """Total PEs when each level is its own PE rank (planar layout)."""
+        return int(sum(self.level_widths))
+
+    @property
+    def max_width(self) -> int:
+        return max(self.level_widths) if self.level_widths else 0
+
+
+def map_to_array(graph: AndOrGraph, *, compare_capacity: int = 2) -> LevelMapping:
+    """Schedule a serial AND/OR graph on a planar level-synchronous array.
+
+    ``compare_capacity`` is the number of ⊕-folds a PE performs per step
+    (the paper's parenthesization processors fold two alternatives per
+    step).  A level's step cost is the worst node in it:
+    ``⌈(b − 1)/capacity⌉`` steps for a ``b``-ary OR, 1 step for AND,
+    leaf and dummy nodes.  Raises when the graph is not serial — run
+    :func:`repro.andor.serialize.serialize` first.
+    """
+    if compare_capacity < 1:
+        raise ValueError("compare_capacity must be >= 1")
+    if not graph.is_serial():
+        raise ValueError(
+            "graph has level-skipping arcs; serialize it before mapping"
+        )
+    levels = graph.levels()
+    n_levels = int(levels.max()) + 1 if len(graph.nodes) else 0
+    widths = [0] * n_levels
+    ops = [0] * n_levels
+    level_steps = [1] * n_levels
+    dummies = 0
+    for node in graph.nodes:
+        lv = int(levels[node.id])
+        widths[lv] += 1
+        b = len(node.children)
+        if node.kind is NodeKind.AND:
+            ops[lv] += b  # b - 1 ⊗-folds plus the local-cost ⊗
+            level_steps[lv] = max(level_steps[lv], 1)
+        elif node.kind is NodeKind.OR:
+            if b == 1 and isinstance(node.label, tuple) and node.label[:1] == ("dummy",):
+                dummies += 1
+            else:
+                ops[lv] += max(b - 1, 0)
+            level_steps[lv] = max(
+                level_steps[lv], -(-(max(b - 1, 1)) // compare_capacity)
+            )
+    values = graph.evaluate()
+    return LevelMapping(
+        num_levels=n_levels,
+        level_widths=tuple(widths),
+        steps=int(sum(level_steps)),
+        ops_per_level=tuple(ops),
+        dummy_nodes=dummies,
+        values=values,
+    )

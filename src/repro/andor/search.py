@@ -1,0 +1,131 @@
+"""Search procedures over additive AND/OR graphs.
+
+Two of the paper's evaluation regimes (Section 5, Section 6.2):
+
+* :func:`bottom_up` — the breadth-first bottom-up sweep ("expands nodes
+  by levels from the bottom up", after Nilsson/Kumar): evaluates level
+  by level and reports per-level work, which is what the
+  level-synchronous array mapping consumes.
+* :func:`ao_star` — a top-down best-first search with memoization and
+  branch-and-bound pruning of AND expansions (the AO*-flavoured
+  alternative the paper cites via Martelli–Montanari and Nilsson).  It
+  returns the same optimal cost while visiting a (often strict) subset
+  of nodes; the benchmark contrasts nodes-visited against the bottom-up
+  sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .graph import AndOrGraph, NodeKind
+
+__all__ = ["BottomUpResult", "bottom_up", "AOStarResult", "ao_star"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BottomUpResult:
+    """Level-synchronous bottom-up evaluation record."""
+
+    values: np.ndarray  # value of every node
+    levels: np.ndarray  # level of every node
+    level_widths: tuple[int, ...]  # nodes evaluated per level
+    num_levels: int
+
+    @property
+    def max_width(self) -> int:
+        """PE count a level-synchronous array needs (widest level)."""
+        return max(self.level_widths)
+
+
+def bottom_up(graph: AndOrGraph) -> BottomUpResult:
+    """Evaluate all nodes level by level from the leaves up."""
+    levels = graph.levels()
+    values = graph.evaluate()
+    n_levels = int(levels.max()) + 1 if len(graph.nodes) else 0
+    widths = tuple(int(np.count_nonzero(levels == lv)) for lv in range(n_levels))
+    return BottomUpResult(
+        values=values, levels=levels, level_widths=widths, num_levels=n_levels
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class AOStarResult:
+    """Top-down search record."""
+
+    cost: float
+    nodes_visited: int  # distinct nodes expanded
+    nodes_total: int
+    pruned_and_nodes: int  # AND expansions cut by the bound
+
+
+def ao_star(graph: AndOrGraph, root: int, *, prune: bool = True) -> AOStarResult:
+    """Top-down memoized search with additive branch-and-bound pruning.
+
+    Each OR node explores its children in order, threading the best cost
+    found so far as an incumbent bound; an AND child aborts as soon as
+    its partial ⊗-accumulation is already strictly dominated by the
+    incumbent.  The cut is sound only when ⊗ can never *improve* a value
+    (min-plus with nonnegative costs, max-times with factors in [0, 1],
+    …); pass ``prune=False`` for cost structures without that
+    monotonicity and the search degrades to plain memoized evaluation.
+
+    AND values are memoized only when computed without a cut, so memo
+    entries are exact; OR values are always exact (a cut child was
+    already strictly worse than the incumbent when it was cut).
+    """
+    sr = graph.semiring
+    if not 0 <= root < len(graph.nodes):
+        raise ValueError(f"root {root} out of range")
+    memo: dict[int, float] = {}
+    visited: set[int] = set()
+    pruned = 0
+    no_bound = object()
+
+    def strictly_dominates(a: float, b: float) -> bool:
+        return a != b and sr.scalar_add(a, b) == a
+
+    def eval_node(nid: int, bound) -> tuple[float, bool]:
+        """Returns (value, exact); exact is False when a cut fired."""
+        nonlocal pruned
+        if nid in memo:
+            return memo[nid], True
+        visited.add(nid)
+        node = graph.nodes[nid]
+        if node.kind is NodeKind.LEAF:
+            memo[nid] = node.cost
+            return node.cost, True
+        if node.kind is NodeKind.AND:
+            acc = node.cost
+            exact = True
+            for c in node.children:
+                if (
+                    prune
+                    and bound is not no_bound
+                    and strictly_dominates(bound, acc)
+                ):
+                    pruned += 1
+                    return acc, False
+                val, child_exact = eval_node(c, no_bound)
+                exact = exact and child_exact
+                acc = sr.scalar_mul(acc, val)
+            if exact:
+                memo[nid] = acc
+            return acc, exact
+        # OR node: fold the best child, threading the incumbent down.
+        best = sr.zero  # ⊕-identity: "no incumbent yet"
+        for c in node.children:
+            val, _exact = eval_node(c, best if best != sr.zero else no_bound)
+            best = sr.scalar_add(best, val)
+        memo[nid] = best
+        return best, True
+
+    cost, _ = eval_node(root, no_bound)
+    return AOStarResult(
+        cost=float(cost),
+        nodes_visited=len(visited),
+        nodes_total=len(graph.nodes),
+        pruned_and_nodes=pruned,
+    )

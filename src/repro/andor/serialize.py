@@ -1,0 +1,90 @@
+"""Serialization of nonserial AND/OR graphs (paper Section 6.2, Figure 8).
+
+A nonserial AND/OR graph has arcs that skip levels (e.g. the Figure-2
+matrix-chain graph, where a size-``k`` subproblem consumes size-1 leaves
+directly).  Systolic arrays want planar, adjacent-level-only
+interconnect, so the paper's transform inserts **dummy pass-through
+nodes** along every level-skipping arc — the dotted lines of Figure 8 —
+at the price of extra hardware and transfer delay, both of which this
+module measures.
+
+A dummy is represented as a single-child OR node (a pure latch: its
+value equals its child's), so the serialized graph evaluates to exactly
+the same values — tests assert value preservation node-for-node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .graph import AndOrGraph, NodeKind
+
+__all__ = ["SerializationResult", "serialize"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SerializationResult:
+    """Outcome of the Figure-8 transform."""
+
+    graph: AndOrGraph  # the serialized graph (arcs adjacent-level only)
+    node_map: dict[int, int]  # original node id -> new node id
+    dummies_added: int  # redundant hardware introduced
+    original_levels: int  # level count before
+    serialized_levels: int  # level count after (unchanged: dummies fill gaps)
+
+
+def serialize(graph: AndOrGraph) -> SerializationResult:
+    """Insert dummy pass-through nodes until every arc spans one level.
+
+    Levels are the longest-path-from-leaves layering; leaves of an
+    already-serial graph pass through untouched (zero dummies).  Dummy
+    chains are shared per (child, target level): if several parents at
+    one level consume the same deep child, one chain serves them all,
+    matching the figure (one dotted path per forwarded value).
+    """
+    levels = graph.levels()
+    out = AndOrGraph(graph.semiring)
+    node_map: dict[int, int] = {}
+    # lifted[(orig id, level)] = id of the dummy carrying orig's value at level
+    lifted: dict[tuple[int, int], int] = {}
+    dummies = 0
+
+    def at_level(orig: int, level: int) -> int:
+        """New-graph node presenting ``orig``'s value at ``level``."""
+        nonlocal dummies
+        base_level = int(levels[orig])
+        if level == base_level:
+            return node_map[orig]
+        if level < base_level:
+            raise ValueError("cannot present a value below its own level")
+        key = (orig, level)
+        if key in lifted:
+            return lifted[key]
+        below = at_level(orig, level - 1)
+        nid = out.add_or([below], label=("dummy", orig, level))
+        dummies += 1
+        lifted[key] = nid
+        return nid
+
+    for node in graph.nodes:  # topological order by construction
+        lv = int(levels[node.id])
+        if node.kind is NodeKind.LEAF:
+            node_map[node.id] = out.add_leaf(node.cost, label=node.label)
+            continue
+        children = [at_level(c, lv - 1) for c in node.children]
+        if node.kind is NodeKind.AND:
+            node_map[node.id] = out.add_and(children, cost=node.cost, label=node.label)
+        else:
+            node_map[node.id] = out.add_or(children, label=node.label)
+
+    new_levels = out.levels()
+    result = SerializationResult(
+        graph=out,
+        node_map=dict(node_map),
+        dummies_added=dummies,
+        original_levels=int(levels.max()) + 1 if len(graph.nodes) else 0,
+        serialized_levels=int(new_levels.max()) + 1 if len(out.nodes) else 0,
+    )
+    return result

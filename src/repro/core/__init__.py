@@ -1,0 +1,44 @@
+"""Core API: classification, Table-1 dispatch solving, and metrics."""
+
+from .classification import (
+    Arity,
+    DPClass,
+    Recommendation,
+    Structure,
+    classify,
+    classify_terms,
+    recommend,
+)
+from .metrics import (
+    at2_lower_bound,
+    at2_surface,
+    eq9_pu,
+    feedback_pu,
+    kt2,
+    measured_pu,
+    processor_utilization,
+    speedup,
+)
+from .problem import MatrixChainProblem
+from .solver import SolveReport, solve
+
+__all__ = [
+    "Arity",
+    "Structure",
+    "DPClass",
+    "Recommendation",
+    "classify",
+    "classify_terms",
+    "recommend",
+    "MatrixChainProblem",
+    "SolveReport",
+    "solve",
+    "eq9_pu",
+    "feedback_pu",
+    "measured_pu",
+    "speedup",
+    "processor_utilization",
+    "kt2",
+    "at2_surface",
+    "at2_lower_bound",
+]

@@ -1,0 +1,51 @@
+"""Performance metrics of the paper: PU, speedup, AT², KT².
+
+Closed forms quoted in the paper, kept next to each other so the
+benchmarks can print paper-formula vs. measured side by side:
+
+* eq. (9):   PU of the Fig. 3/4 arrays, ``(N−2)/N + 1/(N·m)``.
+* Fig. 5:    PU ``((N−1)m² + m)/((N+1)m²)`` (re-exported from the array).
+* eq. (20):  PU of the K-array divide-and-conquer schedule.
+* Theorem 1: the AT² bound (re-exported from :mod:`repro.dnc.analysis`).
+"""
+
+from __future__ import annotations
+
+from ..dnc.analysis import at2_lower_bound, at2_surface, kt2, processor_utilization
+from ..systolic.fabric import RunReport
+from ..systolic.feedback_array import feedback_pu
+
+__all__ = [
+    "eq9_pu",
+    "feedback_pu",
+    "measured_pu",
+    "speedup",
+    "processor_utilization",
+    "kt2",
+    "at2_surface",
+    "at2_lower_bound",
+]
+
+
+def eq9_pu(n_layers: int, m: int) -> float:
+    """Paper eq. (9): PU of the pipelined/broadcast arrays.
+
+    For an ``(N+1)``-stage single-source/sink graph with ``m`` nodes per
+    intermediate stage (``N = n_layers`` matrices in the string):
+    ``PU = ((N−2)m² + m) / (N·m·m) = (N−2)/N + 1/(N·m)``.
+    """
+    if n_layers < 1 or m < 1:
+        raise ValueError("n_layers and m must be positive")
+    return ((n_layers - 2) * m * m + m) / (n_layers * m * m)
+
+
+def measured_pu(report: RunReport) -> float:
+    """Measured PU of a systolic run (serial ops / (iterations × PEs))."""
+    return report.processor_utilization
+
+
+def speedup(serial_ops: int, parallel_time: int) -> float:
+    """Plain speedup: sequential step count over parallel schedule length."""
+    if parallel_time <= 0:
+        raise ValueError("parallel_time must be positive")
+    return serial_ops / parallel_time

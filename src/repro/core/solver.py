@@ -1,0 +1,279 @@
+"""Table-1 dispatch: classify a DP problem and solve it on the
+architecture the paper recommends, validating against the sequential
+oracle.
+
+``solve()`` is the library's one-call entry point:
+
+* **monadic-serial, node-value form** → Fig. 5 feedback array.
+* **monadic-serial, edge-cost form** → Fig. 3 pipelined array (Fig. 4
+  broadcast array on request), falling back to the sequential sweep for
+  shapes the linear arrays do not support (non-uniform interior stages).
+* **polyadic-serial** (many stages) → divide-and-conquer on
+  ``K = ⌈N/log₂N⌉`` arrays, the Theorem-1 optimal granularity.
+* **monadic-nonserial** → variable elimination; for banded objectives
+  also the Section-6.1 grouping transform onto a serial graph.
+* **polyadic-nonserial** (matrix-chain) → the serialized systolic
+  parenthesization array (broadcast mapping on request).
+
+Every path cross-checks the optimum against the corresponding sequential
+solver and reports both values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+import numpy as np
+
+from ..dnc import simulate_chain_product
+from ..dp import (
+    eliminate,
+    solve_backward,
+    solve_matrix_chain,
+    solve_node_value,
+)
+from ..dp.nonserial import NonserialObjective
+from ..graphs import MultistageGraph, NodeValueProblem
+from ..systolic import (
+    BroadcastMatrixStringArray,
+    BroadcastParenthesizer,
+    FeedbackSystolicArray,
+    PipelinedMatrixStringArray,
+    SystolicParenthesizer,
+)
+from .classification import DPClass, Recommendation, recommend
+from .problem import MatrixChainProblem
+
+__all__ = ["SolveReport", "solve"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SolveReport:
+    """Unified result of the dispatch solver.
+
+    ``optimum`` is the parallel architecture's answer; ``reference`` the
+    sequential oracle's; ``validated`` asserts they agree.  ``solution``
+    is method-specific (a :class:`~repro.graphs.StagePath`, a
+    :class:`~repro.dp.matrix_chain.ChainOrder`, an assignment dict, …)
+    and ``detail`` carries the raw architecture result object.
+    """
+
+    dp_class: DPClass
+    method: str
+    optimum: float
+    reference: float
+    validated: bool
+    solution: Any
+    detail: Any
+    recommendation: Recommendation
+
+    def __post_init__(self) -> None:
+        if not self.validated:
+            raise AssertionError(
+                f"architecture result {self.optimum} disagrees with the "
+                f"sequential reference {self.reference}"
+            )
+
+
+def _validated(a: float, b: float) -> bool:
+    return bool(np.isclose(a, b, rtol=1e-9, atol=1e-9))
+
+
+def solve(problem: object, *, prefer: str | None = None) -> SolveReport:
+    """Classify ``problem`` per Table 1, solve it, and validate.
+
+    ``prefer`` overrides the architecture within a class:
+    ``"pipelined"``/``"broadcast"``/``"sequential"`` for edge-cost serial
+    problems, ``"broadcast"``/``"systolic"`` for matrix-chain ordering,
+    ``"dnc"`` to force the polyadic-serial path on a multistage graph.
+    """
+    rec = recommend(problem)
+
+    if isinstance(problem, NodeValueProblem):
+        return _solve_node_value(problem, rec)
+    if isinstance(problem, MultistageGraph):
+        return _solve_graph(problem, rec, prefer)
+    if isinstance(problem, MatrixChainProblem):
+        return _solve_chain(problem, rec, prefer)
+    if isinstance(problem, NonserialObjective):
+        return _solve_nonserial(problem, rec)
+    raise TypeError(f"cannot solve object of type {type(problem).__name__}")
+
+
+def _solve_node_value(problem: NodeValueProblem, rec: Recommendation) -> SolveReport:
+    ref = solve_node_value(problem)
+    if problem.is_uniform and rec.dp_class is DPClass.MONADIC_SERIAL:
+        res = FeedbackSystolicArray(problem.semiring).run(problem)
+        return SolveReport(
+            dp_class=rec.dp_class,
+            method="fig5-feedback-array",
+            optimum=res.optimum,
+            reference=ref.optimum,
+            validated=_validated(res.optimum, ref.optimum),
+            solution=res.path,
+            detail=res,
+            recommendation=rec,
+        )
+    if rec.dp_class is DPClass.POLYADIC_SERIAL:
+        return _solve_graph(problem.to_graph(), rec, "dnc")
+    return SolveReport(
+        dp_class=rec.dp_class,
+        method="sequential-sweep",
+        optimum=ref.optimum,
+        reference=ref.optimum,
+        validated=True,
+        solution=ref.path,
+        detail=ref,
+        recommendation=rec,
+    )
+
+
+def _graph_fits_linear_array(graph: MultistageGraph) -> bool:
+    """The Fig. 3/4 arrays need a single sink and uniform interior width."""
+    sizes = graph.stage_sizes
+    if sizes[-1] != 1 or len(sizes) < 3:
+        return False
+    interior = sizes[1:-1] if sizes[0] == 1 else sizes[:-1]
+    return len(set(interior)) == 1
+
+
+def _solve_graph(
+    graph: MultistageGraph, rec: Recommendation, prefer: str | None
+) -> SolveReport:
+    ref = solve_backward(graph)
+    method = prefer
+    if method is None:
+        if rec.dp_class is DPClass.POLYADIC_SERIAL:
+            method = "dnc"
+        elif _graph_fits_linear_array(graph) or len(set(graph.stage_sizes)) == 1:
+            method = "pipelined"
+        else:
+            method = "sequential"
+
+    if method == "dnc":
+        mats = graph.as_matrices()
+        n = len(mats)
+        k = max(1, math.ceil(n / max(math.log2(n), 1.0)))
+        # The scheduler needs composable segments; pad shape handling by
+        # multiplying the raw string (shapes compose pairwise regardless).
+        sched = simulate_chain_product(
+            n, k, matrices=mats, semiring=graph.semiring
+        )
+        assert sched.product is not None
+        optimum = float(graph.semiring.add_reduce(sched.product, axis=None))
+        return SolveReport(
+            dp_class=DPClass.POLYADIC_SERIAL,
+            method=f"divide-and-conquer (K={k})",
+            optimum=optimum,
+            reference=ref.optimum,
+            validated=_validated(optimum, ref.optimum),
+            solution=sched.product,
+            detail=sched,
+            recommendation=rec,
+        )
+    uniform = len(set(graph.stage_sizes)) == 1
+    if method in ("pipelined", "broadcast") and (
+        _graph_fits_linear_array(graph) or uniform
+    ):
+        array: Any = (
+            PipelinedMatrixStringArray(graph.semiring)
+            if method == "pipelined"
+            else BroadcastMatrixStringArray(graph.semiring)
+        )
+        target = graph
+        if not _graph_fits_linear_array(graph):
+            # Uniform multi-source/sink graphs run after framing with
+            # zero-cost virtual terminals (the paper's degenerate
+            # row/column-vector boundary).
+            from ..graphs import add_virtual_terminals
+
+            target = add_virtual_terminals(graph)
+        if method == "broadcast" and target.is_single_source_sink:
+            # The Fig. 4 ARG path registers let the dispatcher hand back
+            # a traced optimal path instead of only the cost.
+            path, res = array.run_graph_with_path(target)
+            return SolveReport(
+                dp_class=rec.dp_class,
+                method="fig4-broadcast-array",
+                optimum=path.cost,
+                reference=ref.optimum,
+                validated=_validated(path.cost, ref.optimum),
+                solution=path,
+                detail=res,
+                recommendation=rec,
+            )
+        res = array.run_graph(target)
+        value = np.asarray(res.value)
+        optimum = float(graph.semiring.add_reduce(value, axis=None))
+        return SolveReport(
+            dp_class=rec.dp_class,
+            method=f"fig{'3-pipelined' if method == 'pipelined' else '4-broadcast'}-array",
+            optimum=optimum,
+            reference=ref.optimum,
+            validated=_validated(optimum, ref.optimum),
+            solution=res.value,
+            detail=res,
+            recommendation=rec,
+        )
+    return SolveReport(
+        dp_class=rec.dp_class,
+        method="sequential-sweep",
+        optimum=ref.optimum,
+        reference=ref.optimum,
+        validated=True,
+        solution=ref.path,
+        detail=ref,
+        recommendation=rec,
+    )
+
+
+def _solve_chain(
+    problem: MatrixChainProblem, rec: Recommendation, prefer: str | None
+) -> SolveReport:
+    ref = solve_matrix_chain(problem.dims)
+    engine: Any = (
+        BroadcastParenthesizer() if prefer == "broadcast" else SystolicParenthesizer()
+    )
+    run = engine.run(problem.dims)
+    return SolveReport(
+        dp_class=rec.dp_class,
+        method=engine.design_name,
+        optimum=float(run.order.cost),
+        reference=float(ref.cost),
+        validated=run.order.cost == ref.cost,
+        solution=run.order,
+        detail=run,
+        recommendation=rec,
+    )
+
+
+def _solve_nonserial(problem: NonserialObjective, rec: Recommendation) -> SolveReport:
+    res = eliminate(problem)
+    # The elimination engine *is* the reference; validate against the
+    # grouping transform (the Section-6.1 serialization) when the
+    # objective has the banded shape it applies to.
+    reference = res.optimum
+    method = "variable-elimination"
+    detail: Any = res
+    try:
+        from ..dp.nonserial import group_variables_to_serial
+
+        serial_graph, _states = group_variables_to_serial(problem)
+        seq = solve_backward(serial_graph)
+        reference = seq.optimum
+        method = "grouping-transform+serial-sweep"
+        detail = (res, seq)
+    except ValueError:
+        pass  # not banded: elimination result stands alone
+    return SolveReport(
+        dp_class=rec.dp_class,
+        method=method,
+        optimum=res.optimum,
+        reference=reference,
+        validated=_validated(res.optimum, reference),
+        solution=res.assignment,
+        detail=detail,
+        recommendation=rec,
+    )

@@ -1,0 +1,19 @@
+"""Asynchronous dataflow processing (paper Section 4 end, Table 1).
+
+The paper's alternative to static systolic schedules for polyadic
+problems: treat the multiplication tree as a dataflow graph and assign
+processors dynamically.  :mod:`~repro.dataflow.engine` is the
+list-scheduling engine; :mod:`~repro.dataflow.chains` builds the task
+graphs for optimal-order and balanced chain evaluation.
+"""
+
+from .engine import DataflowSchedule, Task, execute_dataflow
+from .chains import tasks_balanced_tree, tasks_from_expression
+
+__all__ = [
+    "Task",
+    "DataflowSchedule",
+    "execute_dataflow",
+    "tasks_from_expression",
+    "tasks_balanced_tree",
+]

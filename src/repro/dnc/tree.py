@@ -1,0 +1,105 @@
+"""AND-tree structure of divide-and-conquer chain products.
+
+Section 4 models the parallel evaluation as a complete binary AND-tree
+whose ``N`` leaves are the matrices and whose ``N − 1`` internal nodes
+are multiplications; the tree height bounds the wind-down phase.  This
+module builds the tree for either pairing policy of the scheduler and
+exposes the structural quantities the proofs use (leaf count,
+internal-node count, height).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["AndTreeNode", "balanced_tree", "schedule_tree_height"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AndTreeNode:
+    """A node of the multiplication AND-tree (leaf = one input matrix)."""
+
+    lo: int  # leftmost leaf index covered (0-based)
+    hi: int  # one past the rightmost leaf index
+    left: "AndTreeNode | None" = None
+    right: "AndTreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def num_leaves(self) -> int:
+        return self.hi - self.lo
+
+    def height(self) -> int:
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.height(), self.right.height())
+
+    def count_internal(self) -> int:
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.count_internal() + self.right.count_internal()
+
+    def iter_internal_by_depth(self) -> dict[int, int]:
+        """Internal-node count per height-above-leaves (1 = lowest)."""
+        counts: dict[int, int] = {}
+
+        def walk(node: "AndTreeNode") -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            h = 1 + max(walk(node.left), walk(node.right))
+            counts[h] = counts.get(h, 0) + 1
+            return h
+
+        walk(self)
+        return counts
+
+
+def balanced_tree(n: int) -> AndTreeNode:
+    """Complete (balanced) binary AND-tree over ``n`` leaves.
+
+    Height is ``⌈log₂n⌉`` — the minimum possible, which is why the
+    balanced grouping attains the Theorem-1 wind-down bound.
+    """
+    if n < 1:
+        raise ValueError("need at least one leaf")
+
+    def build(lo: int, hi: int) -> AndTreeNode:
+        if hi - lo == 1:
+            return AndTreeNode(lo, hi)
+        mid = (lo + hi + 1) // 2
+        return AndTreeNode(lo, hi, build(lo, mid), build(mid, hi))
+
+    return build(0, n)
+
+
+def schedule_tree_height(n: int, k: int) -> int:
+    """Height of the tree the K-array greedy scheduler actually builds.
+
+    With ``k ≥ ⌊n/2⌋`` this is the balanced ``⌈log₂n⌉``; with fewer
+    arrays the tree is deeper on the late-merged side.  Returned from a
+    symbolic replay of the leftmost-pairing schedule.
+    """
+    if n < 1 or k < 1:
+        raise ValueError("n and k must be positive")
+    heights = [0] * n
+    while len(heights) > 1:
+        pairs = min(k, len(heights) // 2)
+        merged: list[int] = []
+        i = 0
+        done = 0
+        while i < len(heights):
+            if done < pairs and i + 1 < len(heights):
+                merged.append(1 + max(heights[i], heights[i + 1]))
+                i += 2
+                done += 1
+            else:
+                merged.append(heights[i])
+                i += 1
+        heights = merged
+    return heights[0]

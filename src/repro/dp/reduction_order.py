@@ -1,0 +1,122 @@
+"""The secondary optimization problem: in what order to reduce stages.
+
+Section 4 of the paper: "When [the matrices do not have identical
+dimensions], the order in which the matrices are multiplied together has
+a significant effect on the total number of operations.  Finding the
+optimal order of multiplying a string of matrices with different
+dimensions is itself a polyadic-nonserial DP problem, the so-called
+secondary optimization problem."  Theorem 2's closing remark makes the
+same point for irregular multistage graphs: eliminating stages in the
+wrong order (or with wider-than-binary reductions) wastes comparisons.
+
+This module closes that loop inside the library: for an *irregular*
+multistage graph, the optimal stage-reduction order is exactly the
+matrix-chain problem over the stage-size vector.  It computes the
+order, quantifies the waste of naive orders and of ternary (3-arc
+AND-node) reductions, and executes the reduction over the graph's
+semiring to confirm the optimum is order-invariant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..graphs import MultistageGraph
+from ..semiring import matmul
+from .matrix_chain import ChainOrder, count_scalar_multiplications, solve_matrix_chain
+
+__all__ = [
+    "ReductionPlan",
+    "optimal_reduction_order",
+    "reduction_cost",
+    "execute_reduction",
+    "ternary_reduction_cost",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReductionPlan:
+    """An evaluated stage-reduction order for a multistage graph."""
+
+    order: ChainOrder  # parenthesization over the graph's cost matrices
+    optimal_comparisons: int  # semiring ⊗⊕ steps of the optimal order
+    naive_comparisons: int  # left-to-right order
+    stage_sizes: tuple[int, ...]
+
+    @property
+    def savings(self) -> float:
+        """Naive over optimal comparison count (≥ 1)."""
+        return self.naive_comparisons / max(self.optimal_comparisons, 1)
+
+
+def reduction_cost(stage_sizes, expression) -> int:
+    """⊗⊕ step count of reducing the graph along ``expression``.
+
+    Identical accounting to matrix-chain scalar multiplications: merging
+    the sub-results covering stages ``a..b`` and ``b..c`` costs
+    ``m_a · m_b · m_c``.
+    """
+    cost, _shape = count_scalar_multiplications(list(stage_sizes), expression)
+    return cost
+
+
+def optimal_reduction_order(graph: MultistageGraph) -> ReductionPlan:
+    """Solve the secondary optimization problem for ``graph``.
+
+    The "dimension vector" is the stage-size vector; the optimal
+    reduction order is the eq.-(6) DP over it.
+    """
+    sizes = graph.stage_sizes
+    order = solve_matrix_chain(sizes)
+    n = graph.num_layers
+    naive_expr: int | tuple = 1
+    for i in range(2, n + 1):
+        naive_expr = (naive_expr, i)
+    return ReductionPlan(
+        order=order,
+        optimal_comparisons=order.cost,
+        naive_comparisons=reduction_cost(sizes, naive_expr),
+        stage_sizes=sizes,
+    )
+
+
+def execute_reduction(graph: MultistageGraph, expression) -> np.ndarray:
+    """Reduce the graph's matrix string along an explicit order.
+
+    Returns the first-stage × last-stage optimal-cost matrix; semiring
+    associativity makes it independent of ``expression`` (the tests
+    assert this), while the *work* differs per :func:`reduction_cost`.
+    """
+    mats = graph.as_matrices()
+
+    def walk(expr) -> tuple[np.ndarray, int, int]:
+        if isinstance(expr, int):
+            return mats[expr - 1], expr, expr
+        left, right = expr
+        a, li, lj = walk(left)
+        b, ri, rj = walk(right)
+        if ri != lj + 1:
+            raise ValueError(f"non-contiguous reduction at {expr}")
+        return matmul(graph.semiring, a, b), li, rj
+
+    out, i, j = walk(expression)
+    if i != 1 or j != graph.num_layers:
+        raise ValueError("expression must cover the whole graph")
+    return out
+
+
+def ternary_reduction_cost(m1: int, m2: int, m3: int, m4: int) -> tuple[int, int]:
+    """The Theorem-2 irregular-stage comparison (paper's closing argument).
+
+    Reducing stages ``(m1, m2, m3, m4)`` to ``(m1, m4)`` with a 3-arc
+    AND-node costs ``m1·m2·m3·m4`` comparisons; binary reduction costs
+    ``min(m1·m3·(m2 + m4), m2·m4·(m1 + m3))``.  Returns
+    ``(ternary, best binary)``; binary never loses for ``m_i ≥ 2``.
+    """
+    if min(m1, m2, m3, m4) < 1:
+        raise ValueError("stage sizes must be positive")
+    ternary = m1 * m2 * m3 * m4
+    binary = min(m1 * m3 * (m2 + m4), m2 * m4 * (m1 + m3))
+    return ternary, binary

@@ -1,0 +1,410 @@
+"""Workload generators.
+
+The paper motivates serial DP with four application domains
+(Section 2.2): traffic-signal timing, circuit design, fluid flow and task
+scheduling.  Each generator below produces a :class:`NodeValueProblem`
+with the interaction structure and cost shape of the corresponding
+domain, plus generic random-instance helpers used by tests and benches.
+
+All generators take an explicit :class:`numpy.random.Generator` so
+instances are reproducible; none touch global RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..semiring import MIN_PLUS, Semiring
+from .multistage import GraphError, MultistageGraph, NodeValueProblem
+
+__all__ = [
+    "random_multistage",
+    "uniform_multistage",
+    "single_source_sink",
+    "fig1a_graph",
+    "fig1b_problem",
+    "traffic_light_problem",
+    "circuit_design_problem",
+    "fluid_flow_problem",
+    "scheduling_problem",
+    "inventory_problem",
+    "production_problem",
+    "gain_schedule_problem",
+    "curve_tracking_problem",
+]
+
+
+def random_multistage(
+    rng: np.random.Generator,
+    stage_sizes: Sequence[int],
+    *,
+    low: float = 0.0,
+    high: float = 10.0,
+    semiring: Semiring = MIN_PLUS,
+    edge_probability: float = 1.0,
+) -> MultistageGraph:
+    """Random multistage graph with the given stage sizes.
+
+    Edge costs are uniform in ``[low, high)``.  With
+    ``edge_probability < 1`` edges are dropped independently (cost set to
+    the semiring zero), except that each non-final-stage vertex keeps at
+    least one outgoing edge and each non-first-stage vertex at least one
+    incoming edge, so a full path always exists.
+    """
+    if len(stage_sizes) < 2:
+        raise GraphError("need at least two stages")
+    if not 0.0 < edge_probability <= 1.0:
+        raise GraphError("edge_probability must be in (0, 1]")
+    costs = []
+    for k in range(len(stage_sizes) - 1):
+        shape = (int(stage_sizes[k]), int(stage_sizes[k + 1]))
+        c = rng.uniform(low, high, size=shape)
+        if edge_probability < 1.0:
+            drop = rng.random(shape) >= edge_probability
+            # Keep connectivity: one guaranteed edge out of each row and
+            # into each column.
+            keep_col = rng.integers(0, shape[1], size=shape[0])
+            drop[np.arange(shape[0]), keep_col] = False
+            keep_row = rng.integers(0, shape[0], size=shape[1])
+            drop[keep_row, np.arange(shape[1])] = False
+            c = np.where(drop, semiring.zero, c)
+        costs.append(c)
+    return MultistageGraph(costs=tuple(costs), semiring=semiring)
+
+
+def uniform_multistage(
+    rng: np.random.Generator,
+    num_stages: int,
+    nodes_per_stage: int,
+    *,
+    low: float = 0.0,
+    high: float = 10.0,
+    semiring: Semiring = MIN_PLUS,
+) -> MultistageGraph:
+    """Random graph with ``num_stages`` stages of ``nodes_per_stage`` nodes each."""
+    return random_multistage(
+        rng,
+        [nodes_per_stage] * num_stages,
+        low=low,
+        high=high,
+        semiring=semiring,
+    )
+
+
+def single_source_sink(
+    rng: np.random.Generator,
+    num_intermediate_stages: int,
+    nodes_per_stage: int,
+    *,
+    low: float = 0.0,
+    high: float = 10.0,
+    semiring: Semiring = MIN_PLUS,
+) -> MultistageGraph:
+    """Graph shaped like Figure 1(a): 1 source, intermediate stages, 1 sink.
+
+    The stage-size vector is ``[1, m, m, …, m, 1]`` with
+    ``num_intermediate_stages`` interior stages of ``nodes_per_stage``
+    vertices.  This is the shape for which the paper quotes the
+    ``(N - 2)m² + m`` uniprocessor iteration count.
+    """
+    if num_intermediate_stages < 1:
+        raise GraphError("need at least one intermediate stage")
+    sizes = [1] + [nodes_per_stage] * num_intermediate_stages + [1]
+    return random_multistage(rng, sizes, low=low, high=high, semiring=semiring)
+
+
+def fig1a_graph(rng: np.random.Generator | None = None) -> MultistageGraph:
+    """The example graph of Figure 1(a): stages 1-3-3-3-1.
+
+    With a supplied ``rng``, integer costs in [1, 9]; otherwise a fixed
+    instance whose optimum the tests know in closed form.
+    """
+    if rng is None:
+        a = np.array([[2.0, 5.0, 3.0]])
+        b = np.array([[4.0, 1.0, 6.0], [2.0, 7.0, 5.0], [3.0, 2.0, 4.0]])
+        c = np.array([[1.0, 8.0, 2.0], [6.0, 3.0, 1.0], [5.0, 2.0, 9.0]])
+        d = np.array([[3.0], [4.0], [2.0]])
+        return MultistageGraph(costs=(a, b, c, d))
+    sizes = [1, 3, 3, 3, 1]
+    costs = tuple(
+        rng.integers(1, 10, size=(sizes[k], sizes[k + 1])).astype(np.float64)
+        for k in range(4)
+    )
+    return MultistageGraph(costs=costs)
+
+
+def fig1b_problem(rng: np.random.Generator | None = None) -> NodeValueProblem:
+    """The example problem of Figure 1(b): 4 stages × 3 quantized values.
+
+    Multiple sources and sinks; the stage cost is the squared difference
+    of adjacent node values (a smooth trajectory objective).
+    """
+    if rng is None:
+        values = tuple(
+            np.array(v, dtype=np.float64)
+            for v in ([1.0, 4.0, 6.0], [2.0, 3.0, 7.0], [0.0, 5.0, 8.0], [1.0, 2.0, 9.0])
+        )
+    else:
+        values = tuple(np.sort(rng.uniform(0.0, 10.0, size=3)) for _ in range(4))
+    return NodeValueProblem(values=values, edge_cost=lambda x, y: (x - y) ** 2)
+
+
+def traffic_light_problem(
+    rng: np.random.Generator,
+    num_intersections: int,
+    num_timings: int,
+    *,
+    cycle: float = 60.0,
+) -> NodeValueProblem:
+    """Traffic-signal coordination (paper Section 2.2).
+
+    ``X_i`` is the possible green-onset time of intersection ``i`` within
+    a common cycle; the stage cost is the timing mismatch between
+    adjacent intersections (vehicles arriving on the offset), modelled as
+    the circular-difference penalty ``min(|Δ|, cycle - |Δ|)``.
+    """
+    if num_intersections < 2 or num_timings < 1:
+        raise GraphError("need >= 2 intersections and >= 1 timing per stage")
+    values = tuple(
+        np.sort(rng.uniform(0.0, cycle, size=num_timings))
+        for _ in range(num_intersections)
+    )
+
+    def offset_penalty(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        delta = np.abs(x - y)
+        return np.minimum(delta, cycle - delta)
+
+    return NodeValueProblem(values=values, edge_cost=offset_penalty)
+
+
+def circuit_design_problem(
+    rng: np.random.Generator,
+    num_points: int,
+    num_levels: int,
+    *,
+    vmax: float = 5.0,
+    conductance: float = 0.35,
+) -> NodeValueProblem:
+    """Voltage assignment along a circuit path (paper Section 2.2).
+
+    ``X_i`` is a candidate voltage at point ``i``; the edge cost is the
+    power dissipated between adjacent points, ``G·(V_i − V_{i+1})²``.
+    """
+    if num_points < 2 or num_levels < 1:
+        raise GraphError("need >= 2 points and >= 1 voltage level per point")
+    values = tuple(
+        np.sort(rng.uniform(0.0, vmax, size=num_levels)) for _ in range(num_points)
+    )
+    return NodeValueProblem(
+        values=values, edge_cost=lambda v1, v2: conductance * (v1 - v2) ** 2
+    )
+
+
+def fluid_flow_problem(
+    rng: np.random.Generator,
+    num_pumps: int,
+    num_pressures: int,
+    *,
+    pmax: float = 100.0,
+) -> NodeValueProblem:
+    """Pump-pressure scheduling (paper Section 2.2).
+
+    ``X_i`` is a candidate pressure at pump ``i``; the cost penalizes
+    adverse pressure gradients (flow reversal) plus pumping effort.
+    Formulated as maximizing flow = minimizing negative flow under
+    min-plus.
+    """
+    if num_pumps < 2 or num_pressures < 1:
+        raise GraphError("need >= 2 pumps and >= 1 pressure level per pump")
+    values = tuple(
+        np.sort(rng.uniform(0.0, pmax, size=num_pressures)) for _ in range(num_pumps)
+    )
+
+    def flow_cost(p1: np.ndarray, p2: np.ndarray) -> np.ndarray:
+        gradient = p1 - p2  # positive gradient drives flow downstream
+        effort = 0.01 * (p1 + p2)
+        return np.where(gradient > 0, -gradient + effort, 10.0 * -gradient + effort)
+
+    return NodeValueProblem(values=values, edge_cost=flow_cost)
+
+
+def scheduling_problem(
+    rng: np.random.Generator,
+    num_tasks: int,
+    num_slots: int,
+    *,
+    horizon: float = 50.0,
+    setup: float = 2.0,
+) -> NodeValueProblem:
+    """Serial task scheduling (paper Section 2.2).
+
+    ``X_i`` is a candidate completion time of task ``i``; successive
+    tasks must be separated by at least ``setup`` time units, with a
+    heavy penalty for overlap and a linear waiting cost otherwise.
+    """
+    if num_tasks < 2 or num_slots < 1:
+        raise GraphError("need >= 2 tasks and >= 1 slot per task")
+    values = tuple(
+        np.sort(rng.uniform(0.0, horizon, size=num_slots)) for _ in range(num_tasks)
+    )
+
+    def delay_cost(t1: np.ndarray, t2: np.ndarray) -> np.ndarray:
+        gap = t2 - t1
+        return np.where(gap >= setup, gap - setup, 100.0 + (setup - gap) ** 2)
+
+    return NodeValueProblem(values=values, edge_cost=delay_cost)
+
+
+def inventory_problem(
+    rng: np.random.Generator,
+    num_periods: int,
+    max_stock: int,
+    *,
+    holding: float = 1.0,
+    order_cost: float = 3.0,
+    shortage: float = 12.0,
+) -> NodeValueProblem:
+    """Inventory control (paper Section 3.2: "inventory systems").
+
+    ``X_i`` is the end-of-period stock level of period ``i`` (quantized
+    0 … max_stock).  Moving from stock ``s`` to stock ``s'`` against the
+    period's demand ``d`` requires ordering ``s' − s + d`` units; the
+    stage cost charges ordering (fixed + linear), holding on carried
+    stock, and a shortage penalty when the implied order is infeasible
+    (negative).
+    """
+    if num_periods < 2 or max_stock < 0:
+        raise GraphError("need >= 2 periods and a nonnegative stock cap")
+    demands = rng.integers(0, max(1, max_stock), size=num_periods - 1)
+    values = tuple(
+        np.arange(max_stock + 1, dtype=np.float64) for _ in range(num_periods)
+    )
+    demand_iter = iter(demands)
+    # One closure per layer would need per-stage costs; the paper's
+    # systolic feeding assumes a stage-independent f, so demand is baked
+    # into an average-demand model (the synthetic analogue documented in
+    # DESIGN.md) while per-stage exactness is available via to_graph().
+    mean_demand = float(np.mean(demands))
+
+    def stage_cost(s: np.ndarray, s_next: np.ndarray) -> np.ndarray:
+        order = s_next - s + mean_demand
+        infeasible = order < 0
+        ordering = np.where(order > 0, order_cost + 1.0 * order, 0.0)
+        hold = holding * s_next
+        short = np.where(infeasible, shortage * (1.0 + -order), 0.0)
+        return ordering + hold + short
+
+    return NodeValueProblem(values=values, edge_cost=stage_cost)
+
+
+def production_problem(
+    rng: np.random.Generator,
+    num_stages: int,
+    num_rates: int,
+    *,
+    rate_max: float = 10.0,
+    changeover: float = 2.0,
+) -> NodeValueProblem:
+    """Multistage production process (paper Section 3.2).
+
+    ``X_i`` is the production rate of stage ``i``; cost charges the
+    rate-change (machine changeover, quadratic) plus a convex running
+    cost around an efficient operating point.
+    """
+    if num_stages < 2 or num_rates < 1:
+        raise GraphError("need >= 2 stages and >= 1 rate per stage")
+    sweet_spot = rate_max * 0.6
+    values = tuple(
+        np.sort(rng.uniform(0.0, rate_max, size=num_rates))
+        for _ in range(num_stages)
+    )
+
+    def stage_cost(r1: np.ndarray, r2: np.ndarray) -> np.ndarray:
+        return changeover * (r1 - r2) ** 2 + 0.1 * (r2 - sweet_spot) ** 2
+
+    return NodeValueProblem(values=values, edge_cost=stage_cost)
+
+
+def gain_schedule_problem(
+    rng: np.random.Generator,
+    num_steps: int,
+    num_gains: int,
+    *,
+    process_noise: float = 1.0,
+    measurement_noise: float = 0.5,
+) -> NodeValueProblem:
+    """Quantized filter-gain scheduling (paper Section 3.2: "Kalman
+    filtering" as a sequentially controlled system).
+
+    ``X_i`` is the filter gain applied at step ``i`` (quantized in
+    (0, 1)).  The stage cost is a steady-state error-variance proxy —
+    high gain admits measurement noise, low gain tracks slowly against
+    process noise — plus a gain-slewing penalty.  A synthetic analogue
+    of the covariance recursion that keeps the stage cost a pure
+    function of adjacent node values, as the systolic feeding requires
+    (substitution documented in DESIGN.md).
+    """
+    if num_steps < 2 or num_gains < 1:
+        raise GraphError("need >= 2 steps and >= 1 gain per step")
+    values = tuple(
+        np.sort(rng.uniform(0.05, 0.95, size=num_gains)) for _ in range(num_steps)
+    )
+
+    def stage_cost(g1: np.ndarray, g2: np.ndarray) -> np.ndarray:
+        variance = g2**2 * measurement_noise + (1.0 - g2) ** 2 * process_noise
+        slew = 0.5 * (g1 - g2) ** 2
+        return variance + slew
+
+    return NodeValueProblem(values=values, edge_cost=stage_cost)
+
+
+def curve_tracking_problem(
+    rng: np.random.Generator,
+    num_rows: int,
+    num_cols: int,
+    *,
+    smoothness: float = 2.0,
+    noise: float = 0.3,
+) -> MultistageGraph:
+    """Curve detection by DP over image rows (Clarke & Dyer, paper ref. [9]).
+
+    A bright, roughly-vertical curve is synthesized in a ``num_rows x
+    num_cols`` intensity image; stage ``k`` is image row ``k``, vertices
+    are column positions, and the edge cost trades off losing intensity
+    against bending the curve:
+
+        cost(c → c') = smoothness·|c − c'| − intensity[row+1, c']
+
+    Because the intensity term depends on the *stage*, this workload is
+    expressed in edge-cost form (a :class:`MultistageGraph`); the paper
+    notes the node-value feeding of Fig. 5 requires stage-independent
+    costs, so this is exactly the case that wants the Fig. 3/4 matrix
+    arrays (after :func:`~repro.graphs.transforms.add_virtual_terminals`).
+
+    The synthesized curve's column track is stored nowhere — recovering
+    it through the DP is the point; tests check the DP path follows the
+    bright ridge.
+    """
+    if num_rows < 2 or num_cols < 2:
+        raise GraphError("need at least a 2x2 image")
+    # Random smooth walk for the true curve.
+    track = np.empty(num_rows, dtype=np.int64)
+    track[0] = rng.integers(num_cols // 4, max(num_cols // 4 + 1, 3 * num_cols // 4))
+    for r in range(1, num_rows):
+        step = rng.integers(-1, 2)
+        track[r] = np.clip(track[r - 1] + step, 0, num_cols - 1)
+    image = rng.uniform(0.0, noise, size=(num_rows, num_cols))
+    image[np.arange(num_rows), track] += 1.0
+    # Soft shoulders so the ridge is wider than one pixel.
+    for off in (-1, 1):
+        cols = np.clip(track + off, 0, num_cols - 1)
+        image[np.arange(num_rows), cols] += 0.35
+
+    cols = np.arange(num_cols, dtype=np.float64)
+    costs = []
+    for r in range(num_rows - 1):
+        bend = smoothness * np.abs(cols[:, None] - cols[None, :])
+        costs.append(bend - image[r + 1][None, :])
+    return MultistageGraph(costs=tuple(costs))

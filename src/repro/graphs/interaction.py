@@ -1,0 +1,185 @@
+"""Interaction graphs of optimization objectives (paper Section 2.2).
+
+The paper distinguishes serial from nonserial objectives by the
+*interaction graph*: vertices are decision variables, and two variables
+are adjacent iff they co-occur in a functional term of the objective.  A
+problem is **serial** when every term shares exactly one variable with
+its predecessor and one with its successor — i.e. the interaction graph
+is a simple chain and every term covers one chain edge.
+
+This module builds interaction graphs from term lists, tests seriality,
+and computes the structural quantities (bandwidth, elimination width)
+that govern the cost of the nonserial→serial transformation of
+Section 6.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Iterable, Sequence
+
+__all__ = ["Term", "InteractionGraph", "is_serial_objective", "chain_order"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Term:
+    """One functional term ``g(X_{v_1}, …, X_{v_k})`` of an objective.
+
+    Only the *variable set* matters for structure; the numeric function
+    lives in :mod:`repro.dp.nonserial`.
+    """
+
+    variables: tuple[Hashable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ValueError("a term must mention at least one variable")
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError(f"duplicate variables in term: {self.variables}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+
+class InteractionGraph:
+    """Undirected interaction graph of an objective's terms."""
+
+    def __init__(self, terms: Sequence[Term]):
+        if not terms:
+            raise ValueError("need at least one term")
+        self.terms: tuple[Term, ...] = tuple(terms)
+        variables: list[Hashable] = []
+        seen: set[Hashable] = set()
+        for t in self.terms:
+            for v in t.variables:
+                if v not in seen:
+                    seen.add(v)
+                    variables.append(v)
+        self.variables: tuple[Hashable, ...] = tuple(variables)
+        self._adj: dict[Hashable, set[Hashable]] = {v: set() for v in variables}
+        for t in self.terms:
+            for i, u in enumerate(t.variables):
+                for w in t.variables[i + 1 :]:
+                    self._adj[u].add(w)
+                    self._adj[w].add(u)
+
+    # ------------------------------------------------------------------
+    def neighbors(self, v: Hashable) -> frozenset[Hashable]:
+        """Variables sharing at least one term with ``v``."""
+        return frozenset(self._adj[v])
+
+    def degree(self, v: Hashable) -> int:
+        return len(self._adj[v])
+
+    def num_edges(self) -> int:
+        return sum(len(n) for n in self._adj.values()) // 2
+
+    def is_chain(self) -> bool:
+        """True iff the graph is a single simple path covering all variables."""
+        if len(self.variables) == 1:
+            return True
+        degs = sorted(self.degree(v) for v in self.variables)
+        if degs.count(1) != 2 or degs.count(2) != len(degs) - 2:
+            return False
+        # Degree profile of a path or of a path + disjoint cycle(s) — walk
+        # it to rule the latter out.
+        start = next(v for v in self.variables if self.degree(v) == 1)
+        seen = {start}
+        cur, prev = start, None
+        while True:
+            nxt = [n for n in self._adj[cur] if n != prev]
+            if not nxt:
+                break
+            prev, cur = cur, nxt[0]
+            if cur in seen:
+                return False
+            seen.add(cur)
+        return len(seen) == len(self.variables)
+
+    def elimination_width(self, order: Sequence[Hashable] | None = None) -> int:
+        """Max clique size created while eliminating variables in ``order``.
+
+        This is the key cost driver of nonserial DP (Bertelè–Brioschi):
+        eliminating variable ``v`` requires optimizing over the joint
+        domain of ``v``'s current neighbors.  With ``order=None`` a
+        min-degree greedy order is used.  Returns the maximum number of
+        neighbors any variable has at its elimination time.
+        """
+        adj = {v: set(n) for v, n in self._adj.items()}
+        remaining = set(self.variables)
+        if order is None:
+            order_list: list[Hashable] = []
+            while remaining:
+                v = min(remaining, key=lambda u: (len(adj[u] & remaining), str(u)))
+                order_list.append(v)
+                remaining.discard(v)
+            order = order_list
+            adj = {v: set(n) for v, n in self._adj.items()}
+            remaining = set(self.variables)
+        width = 0
+        for v in order:
+            if v not in remaining:
+                raise ValueError(f"variable {v!r} eliminated twice or unknown")
+            nbrs = adj[v] & remaining - {v}
+            width = max(width, len(nbrs))
+            # Moralize: neighbors of v become a clique.
+            for u in nbrs:
+                adj[u] |= nbrs - {u}
+            remaining.discard(v)
+        if remaining:
+            raise ValueError(f"order missed variables: {remaining}")
+        return width
+
+    def min_degree_order(self) -> tuple[Hashable, ...]:
+        """Greedy min-degree elimination order (classic nonserial heuristic)."""
+        adj = {v: set(n) for v, n in self._adj.items()}
+        remaining = set(self.variables)
+        order: list[Hashable] = []
+        while remaining:
+            v = min(remaining, key=lambda u: (len(adj[u] & remaining), str(u)))
+            nbrs = adj[v] & remaining - {v}
+            for u in nbrs:
+                adj[u] |= nbrs - {u}
+            order.append(v)
+            remaining.discard(v)
+        return tuple(order)
+
+
+def is_serial_objective(terms: Sequence[Term]) -> bool:
+    """Paper's seriality test (Section 2.2).
+
+    An objective is serial when its terms can be linearly ordered so that
+    each term shares exactly one variable with its predecessor and one
+    with its successor — equivalently here: every term is binary, and the
+    terms tile a chain over the variables.
+    """
+    if any(t.arity != 2 for t in terms):
+        return False
+    g = InteractionGraph(terms)
+    if not g.is_chain():
+        return False
+    # Chain with E = V - 1 edges, and each term must cover a distinct edge.
+    edges = {frozenset(t.variables) for t in terms}
+    return len(edges) == len(terms) == len(g.variables) - 1
+
+
+def chain_order(terms: Sequence[Term]) -> tuple[Hashable, ...]:
+    """Variable order of a serial objective's chain (endpoint-to-endpoint).
+
+    Raises ``ValueError`` when the objective is not serial.
+    """
+    if not is_serial_objective(terms):
+        raise ValueError("objective is not serial")
+    g = InteractionGraph(terms)
+    if len(g.variables) == 1:
+        return g.variables
+    start = next(v for v in g.variables if g.degree(v) == 1)
+    order = [start]
+    prev: Hashable | None = None
+    cur = start
+    while len(order) < len(g.variables):
+        nxt = [n for n in g.neighbors(cur) if n != prev]
+        prev, cur = cur, nxt[0]
+        order.append(cur)
+    return tuple(order)

@@ -1,0 +1,62 @@
+"""Path objects and validation helpers for multistage graphs."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from .multistage import GraphError, MultistageGraph
+
+__all__ = ["StagePath", "validate_path", "all_shortest_paths_equal"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePath:
+    """A source→sink path: one vertex index per stage, plus its cost."""
+
+    nodes: tuple[int, ...]
+    cost: float
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """The path as (from-node, to-node) index pairs per layer."""
+        return tuple(
+            (self.nodes[k], self.nodes[k + 1]) for k in range(len(self.nodes) - 1)
+        )
+
+
+def validate_path(graph: MultistageGraph, path: StagePath, *, atol: float = 1e-9) -> None:
+    """Check that ``path`` is structurally valid and its cost is consistent.
+
+    Raises :class:`~repro.graphs.multistage.GraphError` when the path has
+    the wrong length, steps outside a stage, uses a missing edge, or
+    carries a cost that disagrees with the graph by more than ``atol``.
+    """
+    actual = graph.path_cost(path.nodes)
+    if actual == graph.semiring.zero and path.cost != graph.semiring.zero:
+        raise GraphError("path uses a missing edge")
+    if not np.isclose(actual, path.cost, atol=atol, equal_nan=True):
+        raise GraphError(
+            f"path cost {path.cost} disagrees with recomputed cost {actual}"
+        )
+
+
+def all_shortest_paths_equal(
+    graph: MultistageGraph, paths: Sequence[StagePath], *, atol: float = 1e-9
+) -> bool:
+    """True when every path in ``paths`` is valid and all costs agree.
+
+    Utility for cross-checking results from different solvers (sequential
+    DP, systolic arrays, AND/OR search) on the same instance: optimal
+    *paths* may legitimately differ under ties, but costs must match.
+    """
+    if not paths:
+        return True
+    for p in paths:
+        validate_path(graph, p, atol=atol)
+    ref = paths[0].cost
+    return all(np.isclose(p.cost, ref, atol=atol, equal_nan=True) for p in paths)

@@ -1,0 +1,39 @@
+"""Graph transforms: adapting problems to array-shaped inputs.
+
+The Fig. 3/4 linear arrays consume single-sink strings (the paper's
+single-source/single-sink analysis); :func:`add_virtual_terminals`
+adapts any uniform multistage graph by framing it with zero-cost
+(⊗-identity) boundary stages, preserving the optimum — the standard
+reduction the paper applies implicitly when it speaks of "the first and
+last matrices degenerate into row and column vectors".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .multistage import MultistageGraph
+
+__all__ = ["add_virtual_terminals"]
+
+
+def add_virtual_terminals(graph: MultistageGraph) -> MultistageGraph:
+    """Frame ``graph`` with a zero-cost virtual source and sink.
+
+    The returned graph has stage sizes ``(1,) + old + (1,)``; the added
+    boundary edges carry the semiring ⊗-identity (cost 0 for min-plus),
+    so its single source→sink optimum equals the ⊕-reduction of the
+    original graph's full first-stage × last-stage cost matrix.  Tests
+    assert the equality on random instances.
+
+    Idempotent in effect (framing an already single-source/sink graph
+    adds degenerate unit stages but leaves the optimum unchanged).
+    """
+    sr = graph.semiring
+    sizes = graph.stage_sizes
+    source_row = sr.ones((1, sizes[0]))
+    sink_col = sr.ones((sizes[-1], 1))
+    return MultistageGraph(
+        costs=(source_row,) + tuple(np.copy(c) for c in graph.costs) + (sink_col,),
+        semiring=sr,
+    )

@@ -1,0 +1,107 @@
+"""Persistence: save/load problems and results.
+
+Downstream users need to pin instances (regression corpora, shared
+benchmarks), so the library ships a compact ``.npz``-based format for
+the array-backed problem types and a JSON-able dict form for reports.
+
+Node-value problems carry a *function* (the stage cost), which does not
+serialize; they round-trip through their materialized edge-cost graph —
+the paper's own equivalence (eq. 4 → cost matrices) — with the loss of
+bandwidth metadata noted explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from .graphs import MultistageGraph, NodeValueProblem, StagePath
+from .semiring import by_name
+from .systolic.fabric import RunReport
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "graph_to_dict",
+    "graph_from_dict",
+    "report_to_dict",
+    "path_to_dict",
+    "path_from_dict",
+]
+
+
+def save_graph(path: str | pathlib.Path, graph: MultistageGraph) -> None:
+    """Write a multistage graph to ``path`` as a ``.npz`` archive.
+
+    Layer matrices are stored as ``layer_<k>`` arrays plus the semiring
+    name; loadable by :func:`load_graph`.
+    """
+    path = pathlib.Path(path)
+    arrays = {f"layer_{k}": np.asarray(c) for k, c in enumerate(graph.costs)}
+    arrays["semiring"] = np.asarray(graph.semiring.name)
+    np.savez_compressed(path, **arrays)
+
+
+def load_graph(path: str | pathlib.Path) -> MultistageGraph:
+    """Read a multistage graph written by :func:`save_graph`."""
+    with np.load(pathlib.Path(path), allow_pickle=False) as data:
+        name = str(data["semiring"])
+        layers = sorted(
+            (k for k in data.files if k.startswith("layer_")),
+            key=lambda k: int(k.split("_")[1]),
+        )
+        if not layers:
+            raise ValueError(f"{path} holds no layer arrays")
+        costs = tuple(np.asarray(data[k], dtype=np.float64) for k in layers)
+    return MultistageGraph(costs=costs, semiring=by_name(name))
+
+
+def graph_to_dict(graph: MultistageGraph) -> dict[str, Any]:
+    """JSON-able dict form of a multistage graph (lists, not arrays)."""
+    return {
+        "kind": "multistage_graph",
+        "semiring": graph.semiring.name,
+        "costs": [np.asarray(c).tolist() for c in graph.costs],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> MultistageGraph:
+    """Inverse of :func:`graph_to_dict`.
+
+    Accepts the output of :func:`graph_to_dict` only (checked ``kind``).
+    """
+    if data.get("kind") != "multistage_graph":
+        raise ValueError(f"not a multistage-graph dict: kind={data.get('kind')!r}")
+    costs = tuple(np.asarray(c, dtype=np.float64) for c in data["costs"])
+    return MultistageGraph(costs=costs, semiring=by_name(data["semiring"]))
+
+
+def path_to_dict(path: StagePath) -> dict[str, Any]:
+    """JSON-able dict form of a stage path."""
+    return {"kind": "stage_path", "nodes": list(path.nodes), "cost": float(path.cost)}
+
+
+def path_from_dict(data: dict[str, Any]) -> StagePath:
+    """Inverse of :func:`path_to_dict`."""
+    if data.get("kind") != "stage_path":
+        raise ValueError(f"not a stage-path dict: kind={data.get('kind')!r}")
+    return StagePath(nodes=tuple(int(n) for n in data["nodes"]), cost=float(data["cost"]))
+
+
+def report_to_dict(report: RunReport) -> dict[str, Any]:
+    """JSON-able dict of a systolic run report (for logging pipelines).
+
+    Derived metrics (PU, busy fraction) are included for convenience;
+    they are recomputable from the stored fields.
+    """
+    out = dataclasses.asdict(report)
+    out["pe_busy_ticks"] = list(report.pe_busy_ticks)
+    out["pe_op_counts"] = list(report.pe_op_counts)
+    out["processor_utilization"] = report.processor_utilization
+    out["busy_fraction"] = report.busy_fraction
+    json.dumps(out)  # guarantee JSON-ability at the source
+    return out

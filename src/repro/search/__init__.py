@@ -1,0 +1,10 @@
+"""Top-down search procedures: DP as branch-and-bound with dominance.
+
+The paper's introduction identifies DP with branch-and-bound plus
+dominance tests; this subpackage makes the identification executable and
+measurable.
+"""
+
+from .bnb import BnBResult, branch_and_bound
+
+__all__ = ["BnBResult", "branch_and_bound"]

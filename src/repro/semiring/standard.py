@@ -1,0 +1,150 @@
+"""Standard semiring instances.
+
+The paper's central algebraic device (Section 3.1) is the closed semiring
+``(R, MIN, +, +∞, 0)`` — :data:`MIN_PLUS` here.  The siblings let the same
+machinery solve maximization problems (:data:`MAX_PLUS`), reliability-style
+products (:data:`MAX_TIMES`), bottleneck/capacity paths (:data:`MIN_MAX`),
+reachability (:data:`BOOLEAN`) and ordinary linear algebra
+(:data:`PLUS_TIMES`, used to cross-check the semiring matmul against
+``numpy.matmul``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Semiring
+
+__all__ = [
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "PLUS_TIMES",
+    "MAX_TIMES",
+    "MIN_MAX",
+    "BOOLEAN",
+    "by_name",
+    "ALL_SEMIRINGS",
+]
+
+
+def _inf_safe_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a + b`` treating ``(+inf) + (-inf)`` as ``+inf``.
+
+    Only needed by semirings whose zero is infinite while finite elements
+    may have either sign; for MIN_PLUS / MAX_PLUS with costs of one sign,
+    plain ``np.add`` never produces NaN, but we guard anyway so user cost
+    matrices with mixed infinities stay well-defined.
+    """
+    with np.errstate(invalid="ignore"):
+        out = np.add(a, b)
+    nan = np.isnan(out)
+    if np.any(nan):
+        out = np.where(nan, np.inf, out)
+    return out
+
+
+def _neg_inf_safe_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a + b`` treating ``(+inf) + (-inf)`` as ``-inf`` (max-plus zero)."""
+    with np.errstate(invalid="ignore"):
+        out = np.add(a, b)
+    nan = np.isnan(out)
+    if np.any(nan):
+        out = np.where(nan, -np.inf, out)
+    return out
+
+
+#: Shortest-path / minimization semiring: ⊕ = min, ⊗ = +.
+MIN_PLUS = Semiring(
+    name="min-plus",
+    add=np.minimum,
+    mul=_inf_safe_add,
+    zero=np.inf,
+    one=0.0,
+    add_reduce=np.minimum.reduce,
+    add_argreduce=np.argmin,
+    idempotent_add=True,
+)
+
+#: Longest-path / maximization semiring: ⊕ = max, ⊗ = +.
+MAX_PLUS = Semiring(
+    name="max-plus",
+    add=np.maximum,
+    mul=_neg_inf_safe_add,
+    zero=-np.inf,
+    one=0.0,
+    add_reduce=np.maximum.reduce,
+    add_argreduce=np.argmax,
+    idempotent_add=True,
+)
+
+#: Ordinary arithmetic semiring (path counting / reference checks).
+PLUS_TIMES = Semiring(
+    name="plus-times",
+    add=np.add,
+    mul=np.multiply,
+    zero=0.0,
+    one=1.0,
+    add_reduce=np.add.reduce,
+    add_argreduce=None,
+    idempotent_add=False,
+)
+
+#: Reliability semiring: ⊕ = max, ⊗ = ×, elements in [0, 1].
+MAX_TIMES = Semiring(
+    name="max-times",
+    add=np.maximum,
+    mul=np.multiply,
+    zero=0.0,
+    one=1.0,
+    add_reduce=np.maximum.reduce,
+    add_argreduce=np.argmax,
+    idempotent_add=True,
+)
+
+#: Bottleneck semiring: ⊕ = min, ⊗ = max (minimize the worst edge).
+MIN_MAX = Semiring(
+    name="min-max",
+    add=np.minimum,
+    mul=np.maximum,
+    zero=np.inf,
+    one=-np.inf,
+    add_reduce=np.minimum.reduce,
+    add_argreduce=np.argmin,
+    idempotent_add=True,
+)
+
+#: Reachability semiring over {0.0, 1.0}: ⊕ = or, ⊗ = and.
+BOOLEAN = Semiring(
+    name="boolean",
+    add=np.maximum,
+    mul=np.minimum,
+    zero=0.0,
+    one=1.0,
+    add_reduce=np.maximum.reduce,
+    add_argreduce=np.argmax,
+    idempotent_add=True,
+)
+
+ALL_SEMIRINGS: tuple[Semiring, ...] = (
+    MIN_PLUS,
+    MAX_PLUS,
+    PLUS_TIMES,
+    MAX_TIMES,
+    MIN_MAX,
+    BOOLEAN,
+)
+
+_BY_NAME = {s.name: s for s in ALL_SEMIRINGS}
+
+
+def by_name(name: str) -> Semiring:
+    """Look up a built-in semiring by its ``name`` attribute.
+
+    Raises ``KeyError`` with the list of known names on a miss.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,61 @@
+"""Cycle-accurate simulators of the paper's systolic-array designs."""
+
+from .fabric import ArrayStats, ProcessingElement, Register, RunReport, SystolicError
+from .pipelined_array import (
+    PipelinedArrayResult,
+    PipelinedMatrixStringArray,
+    StreamedRunResult,
+    run_stream,
+)
+from .broadcast_array import BroadcastArrayResult, BroadcastMatrixStringArray
+from .feedback_array import FeedbackArrayResult, FeedbackSystolicArray, feedback_pu
+from .mesh_array import MeshArrayResult, MeshMatrixMultiplier, mesh_cycles
+from .spacetime import render_spacetime, trace_to_grid
+from .triangular import (
+    MatrixChainSpec,
+    ObstSpec,
+    TriangularArray,
+    TriangularRun,
+    TriangularSpec,
+    obst_t_d,
+)
+from .parenthesization import (
+    BroadcastParenthesizer,
+    ParenthesizationRun,
+    SystolicParenthesizer,
+    t_d_recurrence,
+    t_p_recurrence,
+)
+
+__all__ = [
+    "Register",
+    "ProcessingElement",
+    "ArrayStats",
+    "RunReport",
+    "SystolicError",
+    "PipelinedMatrixStringArray",
+    "PipelinedArrayResult",
+    "StreamedRunResult",
+    "run_stream",
+    "BroadcastMatrixStringArray",
+    "BroadcastArrayResult",
+    "FeedbackSystolicArray",
+    "FeedbackArrayResult",
+    "feedback_pu",
+    "BroadcastParenthesizer",
+    "SystolicParenthesizer",
+    "ParenthesizationRun",
+    "t_d_recurrence",
+    "t_p_recurrence",
+    "MeshMatrixMultiplier",
+    "MeshArrayResult",
+    "mesh_cycles",
+    "render_spacetime",
+    "trace_to_grid",
+    "TriangularSpec",
+    "TriangularArray",
+    "TriangularRun",
+    "MatrixChainSpec",
+    "ObstSpec",
+    "obst_t_d",
+]

@@ -1,0 +1,200 @@
+"""The Fig. 4 design: a linear systolic array with broadcasts.
+
+Functionally identical to the Fig. 3 pipelined array (it evaluates the
+same right-to-left matrix-vector string of eq. 8), but the moving vector
+is *broadcast* to all PEs instead of shifted through them, which lets
+every input matrix be fed in the same (untransposed) format:
+
+* Each product takes ``m`` iterations.  At iteration ``j`` the bus
+  carries ``x_j``; PE ``i`` accumulates ``y_i ⊕= M[i, j] ⊗ x_j`` into its
+  stationary accumulator.
+* At the phase boundary the MOVE signal gates the accumulators into the
+  ``S_i`` registers; with FIRST = 0 the ``S`` values are then fed back
+  onto the bus one per iteration (round-robin) as the next product's
+  input — no transposition, no inter-PE shifting, and no fill/drain skew.
+
+The final row-vector product (single-source graph) accumulates the
+scalar result in ``P₁`` while the bus carries the fed-back vector, as in
+the paper's last three example iterations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..graphs import MultistageGraph
+from ..semiring import MIN_PLUS, Semiring
+from .fabric import ArrayStats, ProcessingElement, RunReport, SystolicError, finalize_report
+from .pipelined_array import _normalize_string
+
+__all__ = ["BroadcastArrayResult", "BroadcastMatrixStringArray"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BroadcastArrayResult:
+    """Output of a broadcast-array run."""
+
+    value: np.ndarray  # final vector (shape (m,)) or scalar (shape ())
+    report: RunReport
+    #: With ``track_decisions``: per evaluated layer (sink side first),
+    #: the winning next-stage vertex per PE — the matrix-string analogue
+    #: of the Fig. 5 path registers.
+    decisions: tuple[np.ndarray, ...] | None = None
+
+
+class BroadcastMatrixStringArray:
+    """Simulator of the Fig. 4 broadcast systolic array."""
+
+    design_name = "fig4-broadcast"
+
+    def __init__(self, semiring: Semiring = MIN_PLUS):
+        self.sr = semiring
+
+    def run(
+        self, matrices: list[np.ndarray], *, track_decisions: bool = False
+    ) -> BroadcastArrayResult:
+        """Evaluate the matrix string right-to-left on the array.
+
+        Same operand contract as the Fig. 3 array: ``matrices[-1]`` is the
+        sink-side column vector, interior operands are ``m × m``, and the
+        leftmost operand may be a ``1 × m`` row vector yielding a scalar.
+
+        With ``track_decisions``, each PE carries an ``ARG`` register
+        recording the broadcast index ``j`` that last improved its
+        accumulator — one extra register per PE, exactly the Fig. 5
+        path-register idea transplanted — and the per-phase decision
+        vectors come back for traceback (:meth:`run_graph_with_path`).
+        """
+        sr = self.sr
+        mats, vec, m = _normalize_string(sr, matrices)
+        pes = [ProcessingElement(i) for i in range(m)]
+        for pe in pes:
+            pe.reg("ACC", sr.zero)
+            pe.reg("S", sr.zero)  # gated copy of the accumulator (MOVE)
+            pe.reg("ARG", -1)  # winning broadcast index (path register)
+        stats = ArrayStats()
+        stats.input_words += m  # initial vector v
+
+        bus_source: list[float] = [float(x) for x in vec]  # FIRST = 1 phase input
+        num_phases = len(mats)
+        serial_ops = 0
+        scalar_result: float | None = None
+        decisions: list[np.ndarray] = []
+
+        for phase in range(num_phases):
+            mat = mats[num_phases - 1 - phase]
+            is_row_vector = mat.shape[0] == 1 and m > 1
+            serial_ops += mat.shape[0] * mat.shape[1]
+            if is_row_vector and phase != num_phases - 1:
+                raise SystolicError("row-vector operand must be leftmost")
+            if is_row_vector:
+                pes[0]["ACC"].set(sr.zero)
+                pes[0]["ARG"].set(-1)
+                pes[0].end_tick()
+            else:
+                for pe in pes:
+                    pe["ACC"].set(sr.zero)
+                    pe["ARG"].set(-1)
+                for pe in pes:
+                    pe.end_tick()
+            for j in range(m):
+                x_j = bus_source[j]
+                stats.broadcast_words += 1
+                if is_row_vector:
+                    # Scalar product forms in P1 alone.
+                    pe = pes[0]
+                    self._accumulate(pe, float(mat[0, j]), x_j, j, track_decisions)
+                    pe.count_op()
+                    stats.input_words += 1
+                else:
+                    for i, pe in enumerate(pes):
+                        self._accumulate(pe, float(mat[i, j]), x_j, j, track_decisions)
+                        pe.count_op()
+                    stats.input_words += m  # one matrix element per PE per tick
+                for pe in pes:
+                    pe.end_tick()
+                stats.record_tick()
+            if track_decisions:
+                width = 1 if is_row_vector else m
+                decisions.append(
+                    np.asarray([pes[i]["ARG"].value for i in range(width)], dtype=np.intp)
+                )
+            if is_row_vector:
+                scalar_result = float(pes[0]["ACC"].value)
+            else:
+                # MOVE: gate accumulators into S; they become the next
+                # phase's bus source (FIRST = 0 feedback path).
+                for pe in pes:
+                    pe["S"].set(pe["ACC"].value)
+                for pe in pes:
+                    pe.end_tick()
+                bus_source = [float(pe["S"].value) for pe in pes]
+
+        value = (
+            sr.asarray(scalar_result)
+            if scalar_result is not None
+            else sr.asarray(bus_source)
+        )
+        stats.output_words += int(np.asarray(value).size)
+        report = finalize_report(
+            self.design_name,
+            pes,
+            stats,
+            iterations=num_phases * m,
+            serial_ops=serial_ops,
+        )
+        return BroadcastArrayResult(
+            value=value,
+            report=report,
+            decisions=tuple(decisions) if track_decisions else None,
+        )
+
+    def _accumulate(
+        self, pe: ProcessingElement, m_elem: float, x_j: float, j: int, track: bool
+    ) -> None:
+        """One shift-multiply-accumulate slot, with optional ARG update."""
+        sr = self.sr
+        old = pe["ACC"].value
+        cand = sr.scalar_mul(m_elem, x_j)
+        merged = sr.scalar_add(old, cand)
+        pe["ACC"].set(merged)
+        if track and (merged != old or pe["ARG"].value < 0):
+            if merged == cand:
+                pe["ARG"].set(j)
+
+    def run_graph(self, graph: MultistageGraph) -> BroadcastArrayResult:
+        """Evaluate a single-sink multistage graph (backward formulation)."""
+        if graph.semiring.name != self.sr.name:
+            raise SystolicError("graph and array use different semirings")
+        return self.run(graph.as_matrices())
+
+    def run_graph_with_path(self, graph: MultistageGraph):
+        """Solve a single-source/sink graph and trace the optimal path.
+
+        Phase ``p`` evaluates layer ``L = num_layers − 2 − p``, so its
+        decision vector holds, for each stage-``L`` vertex, the winning
+        stage-``L+1`` vertex; the traceback starts at the single source
+        and follows decisions toward the sink (the last layer's target
+        is the lone sink).  Returns ``(StagePath, BroadcastArrayResult)``;
+        tests validate the path re-costs to the array's optimum.
+        """
+        from ..graphs import StagePath
+
+        if not graph.is_single_source_sink:
+            raise SystolicError("path traceback needs a single-source/sink graph")
+        res = self.run(graph.as_matrices(), track_decisions=True)
+        assert res.decisions is not None
+        n_layers = graph.num_layers
+        nodes = [0]
+        # decisions[p] covers layer L = n_layers - 2 - p; walk L = 0.. up.
+        for layer in range(n_layers - 1):
+            dec = res.decisions[n_layers - 2 - layer]
+            nodes.append(int(dec[nodes[-1]]))
+        nodes.append(0)  # the lone sink
+        # m = 1 degenerates to a length-1 vector rather than a scalar.
+        path = StagePath(
+            nodes=tuple(nodes), cost=float(np.asarray(res.value).squeeze())
+        )
+        return path, res

@@ -1,0 +1,226 @@
+"""Register-transfer-level simulation fabric for systolic arrays.
+
+The paper's systolic designs are specified as clocked hardware: processing
+elements (PEs) with named registers, combinational operate units, control
+signals (FIRST, ODD, MOVE, F=0), nearest-neighbour shift paths and
+broadcast buses.  This module provides the simulation substrate those
+designs are built on:
+
+* :class:`Register` — a value with two-phase (compute → latch) semantics,
+  so every PE in a tick observes the *previous* tick's outputs, exactly
+  like edge-triggered hardware.  Forgetting the two-phase discipline is
+  the classic systolic-simulator bug (PE *i+1* would see PE *i*'s
+  same-tick output); the fabric makes it structurally impossible.
+* :class:`ProcessingElement` — a register container with per-PE activity
+  accounting (busy ticks, operation counts).
+* :class:`ArrayStats` / :class:`RunReport` — uniform measurement records:
+  iteration counts, wall-clock ticks, per-PE utilization, and I/O-port
+  traffic, which the benchmarks compare against the paper's closed forms
+  (eq. 9 and friends).
+
+The concrete array designs (Figs. 3, 4, 5 and the Section-6.2
+parenthesization arrays) each own their tick loop — their control
+structures differ too much to share one — but all are built from these
+parts and all emit :class:`RunReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable
+
+__all__ = [
+    "Register",
+    "ProcessingElement",
+    "ArrayStats",
+    "RunReport",
+    "SystolicError",
+]
+
+
+class SystolicError(RuntimeError):
+    """Raised for schedule violations inside an array simulation."""
+
+
+class Register:
+    """A clocked register with compute/latch two-phase semantics.
+
+    During a tick, PEs read ``value`` (the state latched at the previous
+    clock edge) and stage updates with :meth:`set`.  The array calls
+    :meth:`latch` on every register at the tick boundary.  Reading always
+    returns pre-tick state; staged writes are invisible until latched.
+    """
+
+    __slots__ = ("name", "_current", "_next", "_dirty")
+
+    def __init__(self, name: str, initial: Any = None):
+        self.name = name
+        self._current: Any = initial
+        self._next: Any = None
+        self._dirty = False
+
+    @property
+    def value(self) -> Any:
+        """State as of the last clock edge."""
+        return self._current
+
+    def set(self, value: Any) -> None:
+        """Stage a write for the next clock edge.
+
+        Two staged writes to one register in one tick indicate a wiring
+        bug (two drivers on one net) and raise :class:`SystolicError`.
+        """
+        if self._dirty:
+            raise SystolicError(f"register {self.name!r} driven twice in one tick")
+        self._next = value
+        self._dirty = True
+
+    def latch(self) -> None:
+        """Clock edge: staged value (if any) becomes visible."""
+        if self._dirty:
+            self._current = self._next
+            self._next = None
+            self._dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Register({self.name}={self._current!r})"
+
+
+class ProcessingElement:
+    """A PE: a bundle of named registers plus activity accounting.
+
+    Subclasses (or owning arrays) create registers with :meth:`reg` and
+    record work with :meth:`count_op`.  ``busy_ticks`` increments at most
+    once per tick regardless of how many elementary operations the PE
+    performed in it, matching the paper's definition of an *iteration* as
+    one shift-multiply-accumulate slot.
+    """
+
+    def __init__(self, index: int):
+        self.index = index
+        self.registers: dict[str, Register] = {}
+        self.busy_ticks = 0
+        self.op_count = 0
+        self._busy_this_tick = False
+
+    def reg(self, name: str, initial: Any = None) -> Register:
+        """Create (or return) the named register."""
+        if name not in self.registers:
+            self.registers[name] = Register(f"P{self.index}.{name}", initial)
+        return self.registers[name]
+
+    def __getitem__(self, name: str) -> Register:
+        return self.registers[name]
+
+    def count_op(self, n: int = 1) -> None:
+        """Record ``n`` elementary operations in the current tick."""
+        self.op_count += n
+        self._busy_this_tick = True
+
+    def end_tick(self) -> None:
+        """Latch all registers and fold busy flag into the tick count."""
+        if self._busy_this_tick:
+            self.busy_ticks += 1
+            self._busy_this_tick = False
+        for r in self.registers.values():
+            r.latch()
+
+
+@dataclasses.dataclass
+class ArrayStats:
+    """Mutable counters an array accumulates while running."""
+
+    wall_ticks: int = 0
+    input_words: int = 0  # words entering the array through I/O ports
+    output_words: int = 0  # words leaving through I/O ports
+    broadcast_words: int = 0  # words placed on a broadcast bus
+
+    def record_tick(self) -> None:
+        self.wall_ticks += 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RunReport:
+    """Measurement record of one array execution.
+
+    Attributes
+    ----------
+    design:
+        Name of the array design (``"fig3-pipelined"`` …).
+    num_pes:
+        PEs instantiated.
+    iterations:
+        Schedule length in the paper's *iteration* unit (per-PE
+        shift-multiply-accumulate slots); the quantity the paper's
+        formulas (``N·m``, ``(N+1)·m`` …) predict.
+    wall_ticks:
+        Global clock ticks actually simulated, including pipeline
+        fill/drain skew.
+    pe_busy_ticks:
+        Per-PE busy-tick counts.
+    pe_op_counts:
+        Per-PE elementary-operation counts.
+    serial_ops:
+        Elementary operations a single PE would need for the same job
+        (the numerator of PU).
+    input_words / output_words / broadcast_words:
+        I/O-port traffic, for the input-bandwidth comparison of
+        Section 3.2.
+    """
+
+    design: str
+    num_pes: int
+    iterations: int
+    wall_ticks: int
+    pe_busy_ticks: tuple[int, ...]
+    pe_op_counts: tuple[int, ...]
+    serial_ops: int
+    input_words: int
+    output_words: int
+    broadcast_words: int
+
+    @property
+    def total_ops(self) -> int:
+        return int(sum(self.pe_op_counts))
+
+    @property
+    def processor_utilization(self) -> float:
+        """Measured PU: serial work over (parallel iterations × PEs).
+
+        This is the paper's PU definition ("ratio of the number of serial
+        iterations to the product of the number of parallel iterations
+        and the number of processors"), using measured quantities.
+        """
+        denom = self.iterations * self.num_pes
+        return self.serial_ops / denom if denom else float("nan")
+
+    @property
+    def busy_fraction(self) -> float:
+        """Mean fraction of wall ticks each PE spent busy."""
+        if self.wall_ticks == 0 or self.num_pes == 0:
+            return float("nan")
+        return sum(self.pe_busy_ticks) / (self.wall_ticks * self.num_pes)
+
+
+def finalize_report(
+    design: str,
+    pes: Iterable[ProcessingElement],
+    stats: ArrayStats,
+    *,
+    iterations: int,
+    serial_ops: int,
+) -> RunReport:
+    """Assemble the immutable :class:`RunReport` from live simulation state."""
+    pes = list(pes)
+    return RunReport(
+        design=design,
+        num_pes=len(pes),
+        iterations=iterations,
+        wall_ticks=stats.wall_ticks,
+        pe_busy_ticks=tuple(p.busy_ticks for p in pes),
+        pe_op_counts=tuple(p.op_count for p in pes),
+        serial_ops=serial_ops,
+        input_words=stats.input_words,
+        output_words=stats.output_words,
+        broadcast_words=stats.broadcast_words,
+    )

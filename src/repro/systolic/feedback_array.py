@@ -1,0 +1,256 @@
+"""The Fig. 5 design: a feedback systolic array for node-value problems.
+
+Solves the serial optimization problem of eq. (4),
+``min Σ f(X_k, X_{k+1})``, in its node-value form: only the ``m``
+quantized values of each stage variable enter the array — an
+order-of-magnitude less input than feeding ``m²`` edge costs per layer —
+and each PE *computes* edge costs on the fly with its ``F`` unit.
+
+Architecture (paper Section 3.2, Figure 5):
+
+* ``m`` PEs in a line.  PE ``P_i`` holds three registers — ``R_i`` (the
+  moving slot of the input pipeline), ``K_i`` and ``H_i`` (a stationary
+  predecessor value ``x_{k-1,i}`` and its optimal prefix cost
+  ``h(x_{k-1,i})``) — and three operate units ``F`` (edge cost), ``A``
+  (add) and ``C`` (compare/min).
+* Stage values stream in one per iteration: ``x_{k,j}`` enters ``P₁`` at
+  iteration ``(k-1)·m + j`` paired with a fresh partial ``h = ∞`` and
+  marches one PE per iteration.  At PE ``i`` it improves its partial:
+  ``h ← min(h, H_i + f(K_i, x_{k,j}))``.
+* When a pair leaves ``P_m`` its ``h`` is complete; the **feedback
+  controller** returns it on a bus (round-robin; the paper notes one bus
+  with a circulating token suffices) to be latched into ``K_j/H_j`` of
+  ``P_j`` one iteration later, becoming the stationary predecessor data
+  for the next stage.  The bus value is also usable combinationally in
+  the arrival tick (the paper's walkthrough computes with a value "fed
+  back" in the same iteration), which the simulator honours via a bypass.
+* The final ``m`` iterations set ``F = 0`` and circulate a dummy token
+  that folds ``min_i H_i`` — the optimum — completing at iteration
+  ``(N+1)·m`` exactly.
+
+Optimal-path extraction: each moving pair carries the index of the PE
+whose candidate last improved it (the winning predecessor); ``P_m``
+stores it in the stage's *path register* as the pair completes, and the
+run traces the registers back into a full :class:`~repro.graphs.StagePath`
+— the paper's ``N`` path registers of ``m`` indices each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from ..graphs import NodeValueProblem, StagePath
+from ..semiring import MIN_PLUS, Semiring
+from .fabric import ArrayStats, ProcessingElement, RunReport, SystolicError, finalize_report
+
+__all__ = ["FeedbackArrayResult", "FeedbackSystolicArray", "feedback_pu"]
+
+
+@dataclasses.dataclass(frozen=True)
+class _Pair:
+    """A moving token: (node value, partial h, winning predecessor, kind)."""
+
+    x: float
+    h: float
+    arg: int
+    stage: int  # 1-based stage of x; N+1 marks the final dummy sweep
+    index: int  # 1-based position of x within its stage
+
+
+@dataclasses.dataclass(frozen=True)
+class FeedbackArrayResult:
+    """Output of a feedback-array run."""
+
+    optimum: float
+    path: StagePath
+    final_stage_values: np.ndarray  # h(x_{N,i}) for every i
+    report: RunReport
+    #: (iteration, pe index, label) events when ``record_trace`` was set;
+    #: feeds :func:`repro.systolic.spacetime.render_spacetime`.
+    trace: tuple[tuple[int, int, str], ...] = ()
+
+
+def feedback_pu(num_stages: int, m: int) -> float:
+    """The paper's PU expression for this design:
+    ``((N-1)·m² + m) / ((N+1)·m·m)`` for ``N`` stages of ``m`` values."""
+    n = num_stages
+    return ((n - 1) * m * m + m) / ((n + 1) * m * m)
+
+
+class FeedbackSystolicArray:
+    """Simulator of the Fig. 5 feedback systolic array."""
+
+    design_name = "fig5-feedback"
+
+    def __init__(self, semiring: Semiring = MIN_PLUS):
+        if semiring.add_argreduce is None:
+            raise SystolicError("feedback array needs an arg-reduction for traceback")
+        self.sr = semiring
+
+    def run(
+        self, problem: NodeValueProblem, *, record_trace: bool = False
+    ) -> FeedbackArrayResult:
+        """Run the array on a node-value problem with uniform stage width.
+
+        Executes exactly ``(N+1)·m`` iterations for ``N`` stages of ``m``
+        quantized values, per the paper's schedule, and returns the
+        optimum, a traced optimal path, the final-stage ``h`` values and
+        the measurement report.  With ``record_trace`` the per-iteration
+        PE activity is captured for space-time rendering: ``x{k},{j}``
+        for a moving stage value, ``F0`` for the final comparison sweep,
+        ``-`` for a stage-1 pass-through.
+        """
+        sr = self.sr
+        if problem.semiring.name != sr.name:
+            raise SystolicError("problem and array use different semirings")
+        if not problem.is_uniform:
+            raise SystolicError(
+                "the Fig. 5 array requires a uniform number of quantized values "
+                f"per stage; got sizes {problem.stage_sizes}"
+            )
+        n_stages = problem.num_stages
+        m = problem.stage_sizes[0]
+        f: Callable[[float, float], float] = lambda a, b: float(
+            problem.edge_cost(np.asarray(a), np.asarray(b))
+        )
+
+        pes = [ProcessingElement(i) for i in range(m)]
+        for pe in pes:
+            pe.reg("PAIR", None)  # moving slot (R of the paper + its h/arg)
+            pe.reg("K", None)  # stationary predecessor value
+            pe.reg("H", None)  # stationary predecessor prefix cost
+        stats = ArrayStats()
+
+        # Input stream: stage-1 values ride through with h = 1̄ (= 0 cost
+        # prefix); stages 2..N enter with fresh h = 0̄ (= ∞); the final m
+        # iterations inject the F = 0 dummy sweep.
+        def stream(it: int) -> _Pair | None:
+            """Pair entering P₁ at 1-based iteration ``it``."""
+            k, j = divmod(it - 1, m)
+            k, j = k + 1, j + 1
+            if k == 1:
+                return _Pair(float(problem.values[0][j - 1]), sr.one, -1, 1, j)
+            if k <= n_stages:
+                return _Pair(float(problem.values[k - 1][j - 1]), sr.zero, -1, k, j)
+            if k == n_stages + 1:
+                return _Pair(0.0, sr.zero, -1, n_stages + 1, j)
+            return None
+
+        total_iterations = (n_stages + 1) * m
+        # path_registers[k][i] = winning predecessor (0-based, stage k-1)
+        # of value i of stage k; stage indices 2..N, plus the final sweep.
+        path_registers: dict[int, list[int]] = {
+            k: [-1] * m for k in range(2, n_stages + 1)
+        }
+        final_h = [sr.zero] * m
+        optimum: float | None = None
+        best_final_index = -1
+        feedback: tuple[int, float, float] | None = None  # (target pe, x, h)
+        trace: list[tuple[int, int, str]] = []
+
+        for it in range(1, total_iterations + 1):
+            # Deliver feedback scheduled to arrive this iteration; it is
+            # latched at the tick edge but visible combinationally now.
+            bypass: dict[int, tuple[float, float]] = {}
+            if feedback is not None:
+                tgt, fx, fh = feedback
+                bypass[tgt] = (fx, fh)
+                pes[tgt]["K"].set(fx)
+                pes[tgt]["H"].set(fh)
+                stats.broadcast_words += 2
+                feedback = None
+
+            # Moving pairs advance one PE per iteration; PE i processes
+            # the pair arriving from PE i-1 (or the input stream).
+            for i in range(m - 1, -1, -1):
+                pe = pes[i]
+                if i == 0:
+                    pair = stream(it)
+                    if pair is not None and pair.stage <= n_stages:
+                        stats.input_words += 1
+                else:
+                    pair = pes[i - 1]["PAIR"].value
+                if pair is None:
+                    pe["PAIR"].set(None)
+                    continue
+                if record_trace:
+                    if pair.stage > n_stages:
+                        label = "F0"
+                    elif pair.stage == 1:
+                        label = "-"
+                    else:
+                        label = f"x{pair.stage},{pair.index}"
+                    trace.append((it, i, label))
+                if i in bypass:
+                    k_val, h_val = bypass[i]
+                else:
+                    k_val, h_val = pe["K"].value, pe["H"].value
+                if pair.stage == 1 or k_val is None:
+                    # Stage-1 transit (or PE not yet armed): pure shift.
+                    pe["PAIR"].set(pair)
+                    continue
+                if pair.stage <= n_stages:
+                    cand = sr.scalar_mul(h_val, f(k_val, pair.x))
+                else:
+                    cand = sr.scalar_mul(h_val, sr.one)  # F = 0 sweep
+                merged = sr.scalar_add(pair.h, cand)
+                improved = merged != pair.h or pair.arg < 0
+                pe.count_op()
+                pe["PAIR"].set(
+                    _Pair(
+                        pair.x,
+                        merged,
+                        i if improved and merged == cand else pair.arg,
+                        pair.stage,
+                        pair.index,
+                    )
+                )
+
+            # Tick edge: latch registers, advance the clock.
+            for pe in pes:
+                pe.end_tick()
+            stats.record_tick()
+
+            # The pair now resident in P_m just completed its traversal:
+            # schedule its feedback and record path/answers.
+            done = pes[m - 1]["PAIR"].value
+            if done is not None:
+                if done.stage <= n_stages:
+                    feedback = (done.index - 1, done.x, done.h)
+                if 2 <= done.stage <= n_stages:
+                    path_registers[done.stage][done.index - 1] = done.arg
+                if done.stage == n_stages:
+                    final_h[done.index - 1] = done.h
+                    stats.output_words += 1
+                if done.stage == n_stages + 1 and optimum is None:
+                    optimum = done.h
+                    best_final_index = done.arg
+                    stats.output_words += 1
+
+        if optimum is None:
+            raise SystolicError("schedule ended before the final sweep completed")
+
+        nodes = [0] * n_stages
+        nodes[n_stages - 1] = best_final_index
+        for k in range(n_stages, 1, -1):
+            nodes[k - 2] = path_registers[k][nodes[k - 1]]
+        path = StagePath(nodes=tuple(nodes), cost=float(optimum))
+
+        serial_ops = (n_stages - 1) * m * m + m
+        report = finalize_report(
+            self.design_name,
+            pes,
+            stats,
+            iterations=total_iterations,
+            serial_ops=serial_ops,
+        )
+        return FeedbackArrayResult(
+            optimum=float(optimum),
+            path=path,
+            final_stage_values=sr.asarray(final_h),
+            report=report,
+            trace=tuple(trace),
+        )

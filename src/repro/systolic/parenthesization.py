@@ -1,0 +1,217 @@
+"""Section 6.2 arrays: optimal matrix-chain ordering as AND/OR-graph search.
+
+The polyadic-nonserial recurrence of eq. (6) maps to an AND/OR-graph in
+which AND-nodes are additions (``m_{i,k} + m_{k+1,j} + r_{i-1}·r_k·r_j``)
+and OR-nodes are comparisons.  The paper gives two processor mappings:
+
+* **Broadcast mapping** — one processor per OR-node (subproblem
+  ``(i, j)``), connected by multiple broadcast buses so any completed
+  result is visible to every processor in the next step.  Each processor
+  evaluates two alternatives (two additions + two comparisons) per step;
+  a size-``k`` subproblem therefore needs ``⌊k/2⌋`` steps once its
+  size-``⌈k/2⌉`` inputs exist, giving the recurrence
+  ``T_d(k) = T_d(⌈k/2⌉) + ⌊k/2⌋`` with ``T_d(1) = 1`` and the closed form
+  ``T_d(N) = N``  (Proposition 2).
+* **Serialized (systolic) mapping** — the nonserial AND/OR-graph is made
+  serial by inserting dummy pass-through nodes (Figure 8) so results hop
+  level-by-level between adjacent cells; a child result of size ``s``
+  reaches a size-``k`` parent after ``k − s`` transfer steps, giving
+  ``T_p(k) = T_p(⌈k/2⌉) + 2·⌊k/2⌋`` with ``T_p(1) = 2`` and the closed
+  form ``T_p(N) = 2N``  (Proposition 3).  This is the planar design the
+  paper identifies with Guibas–Kung–Thompson.
+
+Both simulators compute the *actual* DP tables step by step (validated
+against :func:`repro.dp.solve_matrix_chain`) while measuring schedule
+length, so Propositions 2 and 3 are checked on real executions, not just
+restated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..dp.matrix_chain import ChainOrder, _check_dims
+
+__all__ = [
+    "ParenthesizationRun",
+    "BroadcastParenthesizer",
+    "SystolicParenthesizer",
+    "t_d_recurrence",
+    "t_p_recurrence",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ParenthesizationRun:
+    """Result and schedule measurements of a parenthesization-array run."""
+
+    order: ChainOrder
+    steps: int  # schedule length in array steps
+    num_processors: int  # one per OR-node: N(N-1)/2
+    subproblem_completion: dict[tuple[int, int], int]  # (i, j) -> step
+    alternatives_evaluated: int  # total AND-node evaluations
+
+    @property
+    def per_size_completion(self) -> dict[int, int]:
+        """Completion step of the slowest subproblem of each size."""
+        out: dict[int, int] = {}
+        for (i, j), t in self.subproblem_completion.items():
+            size = j - i + 1
+            out[size] = max(out.get(size, 0), t)
+        return out
+
+
+def t_d_recurrence(n: int) -> int:
+    """Evaluate ``T_d(k) = T_d(⌈k/2⌉) + ⌊k/2⌋``, ``T_d(1) = 1`` (eq. 42).
+
+    Proposition 2 states the closed form ``T_d(N) = N``; the tests check
+    the recurrence against it.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    t = 1
+    sizes = []
+    k = n
+    while k > 1:
+        sizes.append(k)
+        k = (k + 1) // 2
+    for k in reversed(sizes):
+        t += k // 2
+    return t
+
+
+def t_p_recurrence(n: int) -> int:
+    """Evaluate ``T_p(k) = T_p(⌈k/2⌉) + 2·⌊k/2⌋``, ``T_p(1) = 2`` (eq. 43).
+
+    Proposition 3 states the closed form ``T_p(N) = 2N``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    t = 2
+    sizes = []
+    k = n
+    while k > 1:
+        sizes.append(k)
+        k = (k + 1) // 2
+    for k in reversed(sizes):
+        t += 2 * (k // 2)
+    return t
+
+
+class _ParenthesizerBase:
+    """Shared step-driven engine for both processor mappings.
+
+    A subproblem ``(i, j)`` (1-based, ``j ≥ i``) owns a processor that, at
+    each step, folds up to ``alternatives_per_step`` *available*
+    alternatives into its running minimum.  Alternative ``k`` becomes
+    available at ``max(ready(i, k), ready(k+1, j))`` where ``ready`` is
+    mapping-specific (instant visibility on the broadcast buses; transfer
+    delays through dummy cells on the serialized design), and is consumed
+    at the first later step with spare capacity.
+    """
+
+    design_name = "base"
+    alternatives_per_step = 2
+    base_time = 1  # completion step of the size-1 leaves
+
+    def _transfer_delay(self, parent_size: int, child_size: int) -> int:
+        raise NotImplementedError
+
+    def run(self, dims: Sequence[int]) -> ParenthesizationRun:
+        """Solve eq. (6) for ``dims`` on the array; measure the schedule."""
+        dims = _check_dims(dims)
+        n = len(dims) - 1
+        r = np.asarray(dims, dtype=np.int64)
+        m = {(i, i): 0 for i in range(1, n + 1)}
+        split: dict[tuple[int, int], int] = {}
+        done = {(i, i): self.base_time for i in range(1, n + 1)}
+        alternatives = 0
+
+        # Per-subproblem pending alternatives with availability times.
+        pending: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for span in range(2, n + 1):
+            for i in range(1, n - span + 2):
+                pending[(i, i + span - 1)] = [(0, k) for k in range(i, i + span - 1)]
+
+        unresolved = set(pending)
+        step = self.base_time
+        # Availability is monotone, so sweeping steps forward and folding
+        # whatever became available is an exact event-driven simulation.
+        while unresolved:
+            step += 1
+            newly_done = []
+            for key in sorted(unresolved):
+                i, j = key
+                size = j - i + 1
+                capacity = self.alternatives_per_step
+                remaining: list[tuple[int, int]] = []
+                folded = 0
+                for _prio, k in pending[key]:
+                    left, right = (i, k), (k + 1, j)
+                    if left not in done or right not in done:
+                        remaining.append((_prio, k))
+                        continue
+                    avail = max(
+                        done[left] + self._transfer_delay(size, k - i + 1),
+                        done[right] + self._transfer_delay(size, j - k),
+                    )
+                    if avail <= step - 1 and folded < capacity:
+                        cost = m[left] + m[right] + int(r[i - 1] * r[k] * r[j])
+                        if key not in split or cost < m[key]:
+                            m[key] = cost
+                            split[key] = k
+                        folded += 1
+                        alternatives += 1
+                    else:
+                        remaining.append((_prio, k))
+                pending[key] = remaining
+                if not remaining and key in split:
+                    done[key] = step
+                    newly_done.append(key)
+            for key in newly_done:
+                unresolved.discard(key)
+            if step > 4 * n * n + 8:  # defensive: schedule must terminate
+                raise RuntimeError(f"{self.design_name}: schedule did not converge")
+
+        def build(i: int, j: int):
+            if i == j:
+                return i
+            k = split[(i, j)]
+            return (build(i, k), build(k + 1, j))
+
+        order = ChainOrder(dims=dims, expression=build(1, n), cost=int(m[(1, n)]))
+        return ParenthesizationRun(
+            order=order,
+            steps=done[(1, n)],
+            num_processors=n * (n - 1) // 2 if n > 1 else 1,
+            subproblem_completion=dict(done),
+            alternatives_evaluated=alternatives,
+        )
+
+
+class BroadcastParenthesizer(_ParenthesizerBase):
+    """The multiple-broadcast-bus mapping; schedule length ``T_d(N) = N``."""
+
+    design_name = "parenthesizer-broadcast"
+
+    def _transfer_delay(self, parent_size: int, child_size: int) -> int:
+        return 0  # bus: a completed result is visible everywhere next step
+
+
+class SystolicParenthesizer(_ParenthesizerBase):
+    """The serialized planar (Guibas-style) mapping; ``T_p(N) = 2N``.
+
+    Results travel through the dummy pass-through cells added by the
+    Figure-8 serialization, one level per step, so a size-``s`` child's
+    value reaches its size-``k`` consumer ``k − s`` steps after
+    completion.
+    """
+
+    design_name = "parenthesizer-systolic"
+    base_time = 2  # T_p(1) = 2: leaves spend a step entering the fabric
+
+    def _transfer_delay(self, parent_size: int, child_size: int) -> int:
+        return parent_size - child_size

@@ -1,0 +1,391 @@
+"""The Fig. 3 design: a pipelined linear systolic array for matrix strings.
+
+Computes ``M₀ ⊗ (M₁ ⊗ (… ⊗ (M_{P-2} ⊗ v)))`` — the monadic-serial DP
+evaluation of eq. (8) — on ``m`` PEs connected in a line, where ``m`` is
+the (uniform) interior stage width and ``v`` is the rightmost operand
+(a column vector: the sink-side boundary).
+
+Operation (paper Section 3.2):
+
+* Phases alternate under the ODD control signal.  In an **ODD phase**
+  (here ``Mode A``) the result vector is *stationary* in the per-PE
+  accumulators ``A_i`` while the input vector shifts through the ``R_i``
+  registers; PE ``i`` accumulates ``y_i = ⊕_j M[i, j] ⊗ x_j`` as the
+  ``x_j`` stream marches past.  In an **EVEN phase** (``Mode B``) the
+  roles swap: the input vector is stationary (MOVE latched it from the
+  accumulators into the ``X_i`` registers at the phase boundary) and the
+  *partial results* shift, each ``y_j`` visiting every PE and picking up
+  ``M[j, i] ⊗ x_i`` — which is why the paper feeds matrix ``B``
+  transposed, column ``i`` into ``P_i``.
+* Control switching propagates with a one-cycle delay from ``P_i`` to
+  ``P_{i+1}``, so phases overlap: the schedule length in the paper's
+  iteration unit is ``m`` per matrix-vector product, ``(P-1)·m`` total,
+  plus an ``m-1``-tick drain for the skew.
+
+The simulation is cycle-accurate *within* each phase (two-phase
+register semantics via :mod:`repro.systolic.fabric`), and the phases are
+stitched with the exact data hand-offs of the overlapped schedule (MOVE
+for A→B, the P_m→P_1 feedback stream for B→A), so the computed values
+and the per-PE iteration counts match the hardware exactly; wall-clock
+ticks are reported for the overlapped schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..graphs import MultistageGraph
+from ..semiring import MIN_PLUS, Semiring
+from .fabric import ArrayStats, ProcessingElement, RunReport, SystolicError, finalize_report
+
+__all__ = ["PipelinedArrayResult", "PipelinedMatrixStringArray", "StreamedRunResult", "run_stream"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelinedArrayResult:
+    """Output of a pipelined-array run."""
+
+    value: np.ndarray  # final vector (shape (m,)) or scalar (shape ())
+    report: RunReport
+    #: (overlapped tick, pe index, label) events when ``record_trace``
+    #: was requested; labels are ``x<s>`` (moving input element) and
+    #: ``y<s>`` (moving partial result) with the phase prefixed.
+    trace: tuple[tuple[int, int, str], ...] = ()
+
+
+def _normalize_string(
+    sr: Semiring, matrices: list[np.ndarray]
+) -> tuple[list[np.ndarray], np.ndarray, int]:
+    """Validate the matrix string; return (matrices, sink vector, width m)."""
+    if len(matrices) < 2:
+        raise SystolicError("need at least two operands (one matrix and the vector)")
+    mats = [sr.asarray(m) for m in matrices]
+    last = mats[-1]
+    if last.ndim == 2:
+        if last.shape[1] != 1:
+            raise SystolicError(
+                "rightmost operand must be a column vector (single-sink form); "
+                f"got shape {last.shape}"
+            )
+        last = last[:, 0]
+    if last.ndim != 1:
+        raise SystolicError(f"rightmost operand must be a vector, got {last.shape}")
+    m = last.size
+    for idx, mat in enumerate(mats[:-1]):
+        if mat.ndim != 2:
+            raise SystolicError(f"operand {idx} must be 2-D, got shape {mat.shape}")
+        if mat.shape[1] != m:
+            raise SystolicError(
+                f"operand {idx} has {mat.shape[1]} columns, expected width {m}"
+            )
+        if idx > 0 and mat.shape[0] != m:
+            raise SystolicError(
+                f"interior operand {idx} must be {m}x{m}, got {mat.shape}"
+            )
+    if mats[0].shape[0] not in (1, m):
+        raise SystolicError(
+            f"leftmost operand must have 1 or {m} rows, got {mats[0].shape}"
+        )
+    return mats[:-1], last, m
+
+
+class PipelinedMatrixStringArray:
+    """Simulator of the Fig. 3 pipelined systolic array."""
+
+    design_name = "fig3-pipelined"
+
+    def __init__(self, semiring: Semiring = MIN_PLUS):
+        self.sr = semiring
+        self._trace_sink: list[tuple[int, int, str]] | None = None
+        self._trace_phase = 0
+
+    def _emit(self, m: int, pe: int, s: int, label: str) -> None:
+        """Record an overlapped-schedule event (1-based tick)."""
+        if self._trace_sink is not None:
+            tick = self._trace_phase * m + pe + s + 1
+            self._trace_sink.append((tick, pe, f"p{self._trace_phase}:{label}"))
+
+    # ------------------------------------------------------------------
+    def run(
+        self, matrices: list[np.ndarray], *, record_trace: bool = False
+    ) -> PipelinedArrayResult:
+        """Evaluate the matrix string right-to-left on the array.
+
+        ``matrices[-1]`` must be the sink-side column vector; interior
+        operands must be ``m × m``; ``matrices[0]`` may be a ``1 × m``
+        row vector (single-source graph), in which case the result is a
+        scalar formed in a single PE, exactly as in the paper's last
+        three example iterations.  With ``record_trace`` the overlapped
+        schedule's per-tick PE activity is captured for space-time
+        rendering: PE ``i`` executes local step ``s`` of phase ``p`` at
+        overlapped tick ``p·m + i + s``.
+        """
+        sr = self.sr
+        mats, vec, m = _normalize_string(sr, matrices)
+        pes = [ProcessingElement(i) for i in range(m)]
+        for pe in pes:
+            pe.reg("R", sr.zero)  # moving input slot
+            pe.reg("ACC", sr.zero)  # stationary result accumulator
+            pe.reg("X", sr.zero)  # stationary input (after MOVE)
+            pe.reg("Y", sr.zero)  # moving partial-result slot
+        stats = ArrayStats()
+        stats.input_words += m  # the initial vector v enters serially
+
+        moving: list[float] = [float(x) for x in vec]
+        scalar_result: float | None = None
+        num_phases = len(mats)
+        serial_ops = 0
+        trace: list[tuple[int, int, str]] = []
+        self._trace_sink = trace if record_trace else None
+
+        for phase in range(num_phases):
+            mat = mats[num_phases - 1 - phase]  # right-to-left product order
+            mode_a = phase % 2 == 0
+            is_row_vector = mat.shape[0] == 1 and m > 1
+            serial_ops += mat.shape[0] * mat.shape[1]
+            self._trace_phase = phase
+            if is_row_vector:
+                if phase != num_phases - 1:
+                    raise SystolicError("row-vector operand must be leftmost")
+                scalar_result = (
+                    self._scalar_phase_a(pes, mat, moving, stats)
+                    if mode_a
+                    else self._scalar_phase_b(pes, mat, stats)
+                )
+            elif mode_a:
+                acc = self._phase_a(pes, mat, moving, stats)
+                # MOVE: stationary result becomes the stationary input of
+                # the next (Mode B) phase.  A control action, not a
+                # compute iteration — no tick charged (paper Fig. 3(b)).
+                for i, pe in enumerate(pes):
+                    pe["X"].set(acc[i])
+                for pe in pes:
+                    pe.end_tick()
+                moving = []
+            else:
+                moving = self._phase_b(pes, mat, stats)
+
+        # Pipeline drain for the skewed schedule.
+        for _ in range(m - 1):
+            stats.record_tick()
+
+        if scalar_result is not None:
+            value = sr.asarray(scalar_result)
+        elif moving:
+            value = sr.asarray(moving)
+        else:
+            value = sr.asarray([pe["X"].value for pe in pes])
+        stats.output_words += int(np.asarray(value).size)
+
+        report = finalize_report(
+            self.design_name,
+            pes,
+            stats,
+            iterations=num_phases * m,
+            serial_ops=serial_ops,
+        )
+        self._trace_sink = None
+        return PipelinedArrayResult(value=value, report=report, trace=tuple(trace))
+
+    def run_graph(
+        self, graph: MultistageGraph, *, record_trace: bool = False
+    ) -> PipelinedArrayResult:
+        """Evaluate a single-sink multistage graph (backward formulation).
+
+        The graph's cost matrices are exactly the string of eq. (8); the
+        result is ``f(source stage)`` — a scalar for single-source
+        graphs, the vector of source costs otherwise.
+        """
+        if graph.semiring.name != self.sr.name:
+            raise SystolicError("graph and array use different semirings")
+        return self.run(graph.as_matrices(), record_trace=record_trace)
+
+    # ------------------------------------------------------------------
+    # Phase simulations
+    # ------------------------------------------------------------------
+    def _phase_a(
+        self,
+        pes: list[ProcessingElement],
+        mat: np.ndarray,
+        moving: list[float],
+        stats: ArrayStats,
+    ) -> list[float]:
+        """Mode A: input shifts through R, result stationary in ACC.
+
+        PE ``i`` sees moving element ``x_s`` at local step ``s`` (global
+        tick ``s + i`` inside the phase) and needs matrix element
+        ``mat[i, s]`` then — the skewed feed the paper's Figure 3(a)
+        depicts.
+        """
+        sr = self.sr
+        m = len(pes)
+        if len(moving) != m:
+            raise SystolicError(f"moving stream has {len(moving)} elements, expected {m}")
+        for pe in pes:
+            pe["ACC"].set(sr.zero)
+        for pe in pes:
+            pe.end_tick()
+        for t in range(2 * m - 1):
+            active = 0
+            for i, pe in enumerate(pes):
+                s = t - i
+                if not 0 <= s < m:
+                    continue
+                x_in = moving[s] if i == 0 else pes[i - 1]["R"].value
+                pe["ACC"].set(
+                    sr.scalar_add(pe["ACC"].value, sr.scalar_mul(float(mat[i, s]), x_in))
+                )
+                pe["R"].set(x_in)
+                pe.count_op()
+                active += 1
+                self._emit(len(pes), i, s, f"x{s + 1}")
+            stats.input_words += active  # one matrix element per active PE
+            for pe in pes:
+                pe.end_tick()
+            if t < m:
+                stats.record_tick()  # overlapped schedule: m ticks per phase
+        return [pe["ACC"].value for pe in pes]
+
+    def _phase_b(
+        self,
+        pes: list[ProcessingElement],
+        mat: np.ndarray,
+        stats: ArrayStats,
+    ) -> list[float]:
+        """Mode B: input stationary in X, partial results shift through Y.
+
+        Partial ``y_s`` enters P₁ at local step ``s`` and picks up
+        ``mat[s, i] ⊗ x_i`` at PE ``i`` — the transposed feed (column
+        ``i`` of the matrix into ``P_i``) of the paper.
+        """
+        sr = self.sr
+        m = len(pes)
+        out: list[float] = [sr.zero] * m
+        for t in range(2 * m - 1):
+            active = 0
+            for i, pe in enumerate(pes):
+                s = t - i
+                if not 0 <= s < m:
+                    continue
+                part_in = sr.zero if i == 0 else pes[i - 1]["Y"].value
+                part_out = sr.scalar_add(
+                    part_in, sr.scalar_mul(float(mat[s, i]), pe["X"].value)
+                )
+                pe["Y"].set(part_out)
+                pe.count_op()
+                active += 1
+                self._emit(len(pes), i, s, f"y{s + 1}")
+            stats.input_words += active
+            for pe in pes:
+                pe.end_tick()
+            s_last = t - (m - 1)
+            if 0 <= s_last < m:
+                out[s_last] = pes[m - 1]["Y"].value
+            if t < m:
+                stats.record_tick()
+        return out
+
+    def _scalar_phase_a(
+        self,
+        pes: list[ProcessingElement],
+        row: np.ndarray,
+        moving: list[float],
+        stats: ArrayStats,
+    ) -> float:
+        """Final row-vector product with a *moving* input: P₁ alone
+        accumulates the scalar as the stream and the row elements arrive
+        ("input vectors A and f(B) are shifted into P₁")."""
+        sr = self.sr
+        m = len(pes)
+        if len(moving) != m:
+            raise SystolicError("moving stream width mismatch in scalar phase")
+        pe = pes[0]
+        pe["ACC"].set(sr.zero)
+        pe.end_tick()
+        for s in range(m):
+            pe["ACC"].set(
+                sr.scalar_add(
+                    pe["ACC"].value, sr.scalar_mul(float(row[0, s]), moving[s])
+                )
+            )
+            pe.count_op()
+            self._emit(m, 0, s, f"x{s + 1}")
+            stats.input_words += 1
+            for q in pes:
+                q.end_tick()
+            stats.record_tick()
+        return float(pe["ACC"].value)
+
+    def _scalar_phase_b(
+        self,
+        pes: list[ProcessingElement],
+        row: np.ndarray,
+        stats: ArrayStats,
+    ) -> float:
+        """Final row-vector product with a *stationary* input: one moving
+        partial traverses the array, gathering ``row[0, i] ⊗ x_i``."""
+        sr = self.sr
+        m = len(pes)
+        for t in range(m):
+            pe = pes[t]
+            part_in = sr.zero if t == 0 else pes[t - 1]["Y"].value
+            pe["Y"].set(
+                sr.scalar_add(part_in, sr.scalar_mul(float(row[0, t]), pe["X"].value))
+            )
+            pe.count_op()
+            self._emit(m, t, 0, "y1")
+            stats.input_words += 1
+            for q in pes:
+                q.end_tick()
+            stats.record_tick()
+        return float(pes[m - 1]["Y"].value)
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamedRunResult:
+    """Outcome of streaming several problem instances through the array."""
+
+    values: tuple[np.ndarray, ...]
+    total_iterations: int
+    total_wall_ticks: int  # single fill/drain amortized over the stream
+    per_instance_wall_ticks: float
+
+
+def run_stream(
+    array: PipelinedMatrixStringArray, graphs: list[MultistageGraph]
+) -> StreamedRunResult:
+    """Stream several same-shape instances back-to-back through one array.
+
+    The paper notes "there is no delay between feeding successive input
+    matrices into the systolic array"; the same property holds between
+    *instances* of the same problem shape: the next instance's sink
+    vector enters as the previous instance's result drains, so the
+    ``m − 1``-tick fill/drain skew is paid once for the whole stream
+    rather than once per instance.  The benchmarks use this to show the
+    amortized per-instance time approaching the ideal ``(P−1)·m``.
+    """
+    if not graphs:
+        raise SystolicError("need at least one instance")
+    shape0 = graphs[0].stage_sizes
+    for g in graphs[1:]:
+        if g.stage_sizes != shape0:
+            raise SystolicError("streamed instances must share one shape")
+    values = []
+    iterations = 0
+    compute_ticks = 0
+    m = 0
+    for g in graphs:
+        res = array.run_graph(g)
+        values.append(np.asarray(res.value))
+        iterations += res.report.iterations
+        m = res.report.num_pes
+        compute_ticks += res.report.wall_ticks - (m - 1)
+    total_wall = compute_ticks + (m - 1)  # one shared fill/drain
+    return StreamedRunResult(
+        values=tuple(values),
+        total_iterations=iterations,
+        total_wall_ticks=total_wall,
+        per_instance_wall_ticks=total_wall / len(graphs),
+    )

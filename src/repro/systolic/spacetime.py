@@ -1,0 +1,70 @@
+"""Space-time diagrams of systolic schedules.
+
+The paper's Figures 3-5 communicate their designs through schedule
+tables (which datum is where, at which iteration).  This module renders
+the same view from simulator traces: one row per PE, one column per
+clock tick, each cell naming the datum the PE processed — so a run of
+the Fig. 5 array literally prints the schedule of the paper's
+walkthrough ("x2,1 enters P1 while x1,1 feeds back" and so on).
+
+Traces are sequences of ``(tick, pe_index, label)`` events; any
+simulator can emit them (the Fig. 5 array does when ``record_trace``
+is set).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_spacetime", "trace_to_grid"]
+
+
+def trace_to_grid(
+    events: Iterable[tuple[int, int, str]],
+    num_pes: int,
+    num_ticks: int,
+    *,
+    idle: str = ".",
+) -> list[list[str]]:
+    """Bucket events into a ``[pe][tick]`` grid of labels.
+
+    Ticks are 1-based (matching the paper's iteration numbering);
+    multiple events on one (tick, PE) cell join with ``/`` — which is
+    itself a wiring red flag the tests check never happens for the
+    shipped arrays.
+    """
+    if num_pes < 1 or num_ticks < 1:
+        raise ValueError("need at least one PE and one tick")
+    grid = [[idle for _ in range(num_ticks)] for _ in range(num_pes)]
+    for tick, pe, label in events:
+        if not 1 <= tick <= num_ticks:
+            raise ValueError(f"tick {tick} outside 1..{num_ticks}")
+        if not 0 <= pe < num_pes:
+            raise ValueError(f"PE index {pe} outside 0..{num_pes - 1}")
+        cell = grid[pe][tick - 1]
+        grid[pe][tick - 1] = label if cell == idle else f"{cell}/{label}"
+    return grid
+
+
+def render_spacetime(
+    events: Iterable[tuple[int, int, str]],
+    num_pes: int,
+    num_ticks: int,
+    *,
+    idle: str = ".",
+    tick_label: str = "t",
+) -> str:
+    """ASCII space-time diagram: PEs as rows, ticks as columns."""
+    grid = trace_to_grid(events, num_pes, num_ticks, idle=idle)
+    col_w = [
+        max(len(f"{tick_label}{t + 1}"), max(len(grid[p][t]) for p in range(num_pes)))
+        for t in range(num_ticks)
+    ]
+    header = "      " + "  ".join(
+        f"{tick_label}{t + 1}".ljust(w) for t, w in enumerate(col_w)
+    )
+    lines = [header]
+    for p in range(num_pes):
+        row = "  ".join(grid[p][t].ljust(col_w[t]) for t in range(num_ticks))
+        lines.append(f"P{p + 1:<4d} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""Generalized triangular-recurrence arrays (Section 6.2, both problems).
+
+The paper names two polyadic problem families — matrix-chain ordering
+(eq. 6) and optimal binary search trees — and both share the triangular
+wavefront
+
+    V(i, j) = min over alternatives a of  V(child₁(a)) + V(child₂(a)) + local(a)
+
+whose AND/OR graph maps onto the same two processor organizations: the
+multiple-broadcast-bus design (results visible everywhere one step after
+completion) and the serialized planar systolic design (results hop one
+level per step through the Figure-8 dummy cells).
+
+This module factors the schedule engine out of the matrix-chain-specific
+:mod:`repro.systolic.parenthesization` into a *problem spec* interface,
+and provides specs for both families:
+
+* :class:`MatrixChainSpec` — identical schedules to the original engine
+  (asserted by the tests): ``T_d(N) = N``, ``T_p(N) = 2N``.
+* :class:`ObstSpec` — optimal binary search trees; the analogous
+  broadcast schedule is ``T_d(n) = n + 1`` for ``n`` keys (a size-``s``
+  subproblem has ``s`` alternatives over children summing to ``s − 1``),
+  which :func:`obst_t_d` evaluates and the benchmarks verify.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..dp.matrix_chain import _check_dims
+from ..dp.obst import _check_weights
+
+__all__ = [
+    "TriangularSpec",
+    "MatrixChainSpec",
+    "ObstSpec",
+    "TriangularRun",
+    "TriangularArray",
+    "obst_t_d",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Alternative:
+    """One AND-node: two child subproblems plus a local additive cost."""
+
+    child_a: Hashable
+    child_b: Hashable
+    local: float
+
+
+class TriangularSpec:
+    """Problem interface for the generalized engine.
+
+    Implementations provide base cases, the bottom-up subproblem order
+    with each subproblem's alternatives, a ``size`` for the serialized
+    transfer delay, and the goal key.
+    """
+
+    def leaves(self) -> dict[Hashable, float]:
+        raise NotImplementedError
+
+    def subproblems(self) -> Sequence[tuple[Hashable, list[Alternative]]]:
+        """Keys with their alternatives, smaller subproblems first."""
+        raise NotImplementedError
+
+    def size(self, key: Hashable) -> int:
+        """Level index for transfer delays (leaves have the minimum)."""
+        raise NotImplementedError
+
+    def goal(self) -> Hashable:
+        raise NotImplementedError
+
+
+class MatrixChainSpec(TriangularSpec):
+    """Eq. (6): keys are 1-based subchains ``(i, j)``."""
+
+    def __init__(self, dims: Sequence[int]):
+        self.dims = _check_dims(dims)
+        self.n = len(self.dims) - 1
+
+    def leaves(self) -> dict[Hashable, float]:
+        return {(i, i): 0.0 for i in range(1, self.n + 1)}
+
+    def subproblems(self):
+        r = self.dims
+        out = []
+        for span in range(2, self.n + 1):
+            for i in range(1, self.n - span + 2):
+                j = i + span - 1
+                alts = [
+                    Alternative((i, k), (k + 1, j), float(r[i - 1] * r[k] * r[j]))
+                    for k in range(i, j)
+                ]
+                out.append(((i, j), alts))
+        return out
+
+    def size(self, key) -> int:
+        i, j = key
+        return j - i + 1
+
+    def goal(self):
+        return (1, self.n)
+
+
+class ObstSpec(TriangularSpec):
+    """Optimal binary search trees: keys are spans ``(i, j)`` with
+    ``j ≥ i − 1``; the empty spans ``(i, i−1)`` are the ``q`` leaves."""
+
+    def __init__(self, p: Sequence[float], q: Sequence[float]):
+        self.p, self.q = _check_weights(p, q)
+        self.n = self.p.size
+        # Prefix sums for w(i, j) = sum(p_i..p_j) + sum(q_{i-1}..q_j).
+        self._pc = np.concatenate([[0.0], np.cumsum(self.p)])
+        self._qc = np.concatenate([[0.0], np.cumsum(self.q)])
+
+    def _w(self, i: int, j: int) -> float:
+        return float(self._pc[j] - self._pc[i - 1] + self._qc[j + 1] - self._qc[i - 1])
+
+    def leaves(self) -> dict[Hashable, float]:
+        return {(i, i - 1): float(self.q[i - 1]) for i in range(1, self.n + 2)}
+
+    def subproblems(self):
+        out = []
+        for span in range(1, self.n + 1):
+            for i in range(1, self.n - span + 2):
+                j = i + span - 1
+                w = self._w(i, j)
+                alts = [
+                    Alternative((i, r - 1), (r + 1, j), w) for r in range(i, j + 1)
+                ]
+                out.append(((i, j), alts))
+        return out
+
+    def size(self, key) -> int:
+        i, j = key
+        return j - i + 2  # empty spans sit at level 1... leaves level 1
+
+    def goal(self):
+        return (1, self.n) if self.n else (1, 0)
+
+
+@dataclasses.dataclass(frozen=True)
+class TriangularRun:
+    """Schedule measurement of a generalized triangular-array run."""
+
+    value: float  # optimal cost at the goal key
+    values: dict[Hashable, float]  # every subproblem's optimal cost
+    decisions: dict[Hashable, int]  # winning alternative index per key
+    steps: int
+    completion: dict[Hashable, int]
+    alternatives_evaluated: int
+    num_processors: int
+
+
+class TriangularArray:
+    """Step-driven engine shared by both processor organizations.
+
+    ``transfer="broadcast"`` models the multiple-bus design (zero
+    transfer delay); ``transfer="systolic"`` models the serialized
+    planar design (delay = level difference, per Figure 8).  Processors
+    fold up to ``alternatives_per_step`` available alternatives per
+    step, as in the paper's timing arguments for eqs. (42)-(43).
+    """
+
+    def __init__(
+        self,
+        transfer: str = "broadcast",
+        *,
+        alternatives_per_step: int = 2,
+        base_time: int | None = None,
+    ):
+        if transfer not in ("broadcast", "systolic"):
+            raise ValueError(f"unknown transfer model {transfer!r}")
+        if alternatives_per_step < 1:
+            raise ValueError("alternatives_per_step must be >= 1")
+        self.transfer = transfer
+        self.alternatives_per_step = alternatives_per_step
+        self.base_time = base_time if base_time is not None else (
+            1 if transfer == "broadcast" else 2
+        )
+
+    def _delay(self, parent_size: int, child_size: int) -> int:
+        if self.transfer == "broadcast":
+            return 0
+        return parent_size - child_size
+
+    def run(self, spec: TriangularSpec) -> TriangularRun:
+        values: dict[Hashable, float] = dict(spec.leaves())
+        done: dict[Hashable, int] = {k: self.base_time for k in values}
+        decisions: dict[Hashable, int] = {}
+        subs = list(spec.subproblems())
+        if not subs and spec.goal() in values:
+            return TriangularRun(
+                value=values[spec.goal()],
+                values=dict(values),
+                decisions={},
+                steps=self.base_time,
+                completion=dict(done),
+                alternatives_evaluated=0,
+                num_processors=0,
+            )
+        pending: dict[Hashable, list[tuple[int, Alternative]]] = {
+            key: list(enumerate(alts)) for key, alts in subs
+        }
+        best: dict[Hashable, float] = {}
+        unresolved = [key for key, _ in subs]
+        evaluated = 0
+        step = self.base_time
+        max_steps = 8 * sum(len(alts) for _k, alts in subs) + 64
+        while unresolved:
+            step += 1
+            still: list[Hashable] = []
+            for key in unresolved:
+                psize = spec.size(key)
+                folded = 0
+                remaining: list[tuple[int, Alternative]] = []
+                for idx, alt in pending[key]:
+                    ready = (
+                        alt.child_a in done
+                        and alt.child_b in done
+                        and max(
+                            done[alt.child_a]
+                            + self._delay(psize, spec.size(alt.child_a)),
+                            done[alt.child_b]
+                            + self._delay(psize, spec.size(alt.child_b)),
+                        )
+                        <= step - 1
+                    )
+                    if ready and folded < self.alternatives_per_step:
+                        cost = values[alt.child_a] + values[alt.child_b] + alt.local
+                        if key not in best or cost < best[key]:
+                            best[key] = cost
+                            decisions[key] = idx
+                        folded += 1
+                        evaluated += 1
+                    else:
+                        remaining.append((idx, alt))
+                pending[key] = remaining
+                if remaining or key not in best:
+                    still.append(key)
+                else:
+                    values[key] = best[key]
+                    done[key] = step
+            unresolved = still
+            if step > max_steps:  # defensive: must converge
+                raise RuntimeError("triangular schedule did not converge")
+        goal = spec.goal()
+        return TriangularRun(
+            value=values[goal],
+            values=dict(values),
+            decisions=decisions,
+            steps=done[goal],
+            completion=dict(done),
+            alternatives_evaluated=evaluated,
+            num_processors=len(subs),
+        )
+
+
+def obst_t_d(n_keys: int) -> int:
+    """Broadcast schedule length for an ``n``-key OBST.
+
+    The recurrence ``T(s) = T(⌈(s−1)/2⌉) + ⌈s/2⌉`` with ``T(0) = 1``
+    (a size-``s`` span has ``s`` alternatives whose children sum to
+    ``s − 1``); it solves to ``T(n) = n + 1`` — one step more than the
+    matrix-chain ``T_d(N) = N`` because of the extra alternative per
+    subproblem.  Verified against measured schedules in the benchmarks.
+    """
+    if n_keys < 0:
+        raise ValueError("n_keys must be nonnegative")
+    t = 1
+    sizes = []
+    s = n_keys
+    while s > 0:
+        sizes.append(s)
+        s = (s - 1 + 1) // 2 if s > 1 else 0  # ceil((s-1)/2)
+    for s in reversed(sizes):
+        t += (s + 1) // 2
+    return t

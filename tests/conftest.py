@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; every test gets a fresh, identical stream."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running exhaustive checks (run by default)"
+    )

@@ -1,0 +1,127 @@
+"""Unit tests for the explicit (Nilsson) AO* algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.andor import (
+    NodeKind,
+    ao_star,
+    ao_star_explicit,
+    fold_multistage,
+    matrix_chain_andor,
+)
+from repro.dp import solve_matrix_chain
+from repro.graphs import uniform_multistage
+from repro.semiring import MAX_PLUS
+from repro.andor.graph import AndOrGraph
+
+
+class TestCorrectness:
+    def test_matches_dp_on_chain_graphs(self):
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            dims = list(rng.integers(1, 40, size=7))
+            mc = matrix_chain_andor(dims)
+            res = ao_star_explicit(mc.graph, mc.root)
+            assert res.cost == solve_matrix_chain(dims).cost
+
+    def test_matches_memoized_variant(self, rng):
+        dims = list(rng.integers(1, 30, size=8))
+        mc = matrix_chain_andor(dims)
+        assert (
+            ao_star_explicit(mc.graph, mc.root).cost
+            == ao_star(mc.graph, mc.root).cost
+        )
+
+    def test_folded_multistage_roots(self, rng):
+        g = uniform_multistage(rng, 5, 2)
+        fm = fold_multistage(g, p=2)
+        vals = fm.graph.evaluate()
+        for u in range(2):
+            for v in range(2):
+                nid = int(fm.root_or[u, v])
+                assert ao_star_explicit(fm.graph, nid).cost == pytest.approx(
+                    vals[nid]
+                )
+
+    def test_solution_tree_is_consistent(self, rng):
+        dims = list(rng.integers(1, 30, size=6))
+        mc = matrix_chain_andor(dims)
+        res = ao_star_explicit(mc.graph, mc.root)
+        # Recompute the cost along the marked tree only.
+        vals = mc.graph.evaluate()
+        for nid in res.solution_nodes:
+            node = mc.graph.nodes[nid]
+            if node.kind is NodeKind.OR:
+                assert any(c in res.solution_nodes for c in node.children)
+        assert res.cost == vals[mc.root]
+
+
+class TestHeuristics:
+    def test_exact_heuristic_minimizes_expansion(self, rng):
+        dims = list(rng.integers(1, 60, size=9))
+        mc = matrix_chain_andor(dims)
+        blind = ao_star_explicit(mc.graph, mc.root)
+        vals = mc.graph.evaluate()
+        informed = ao_star_explicit(
+            mc.graph, mc.root, heuristic=lambda n: float(vals[n])
+        )
+        assert informed.cost == blind.cost
+        assert informed.nodes_expanded < blind.nodes_expanded
+        # The informed search expands little beyond the solution tree.
+        assert informed.nodes_expanded <= len(informed.solution_nodes) + 2
+
+    def test_scaled_admissible_heuristic_stays_optimal(self, rng):
+        dims = list(rng.integers(1, 40, size=7))
+        mc = matrix_chain_andor(dims)
+        vals = mc.graph.evaluate()
+        res = ao_star_explicit(
+            mc.graph, mc.root, heuristic=lambda n: 0.5 * float(vals[n])
+        )
+        assert res.cost == solve_matrix_chain(dims).cost
+
+    def test_expansion_never_exceeds_total(self, rng):
+        dims = list(rng.integers(1, 20, size=8))
+        mc = matrix_chain_andor(dims)
+        res = ao_star_explicit(mc.graph, mc.root)
+        assert res.nodes_expanded <= res.nodes_total
+
+
+class TestValidation:
+    def test_requires_min_plus(self):
+        g = AndOrGraph(MAX_PLUS)
+        a = g.add_leaf(1.0)
+        root = g.add_or([a])
+        with pytest.raises(ValueError, match="min-plus"):
+            ao_star_explicit(g, root)
+
+    def test_bad_root(self, rng):
+        mc = matrix_chain_andor([2, 3, 4])
+        with pytest.raises(ValueError):
+            ao_star_explicit(mc.graph, 99)
+
+    def test_trivial_graphs(self):
+        g = AndOrGraph()
+        leaf = g.add_leaf(7.0)
+        assert ao_star_explicit(g, leaf).cost == 7.0
+        root = g.add_or([leaf])
+        assert ao_star_explicit(g, root).cost == 7.0
+        anded = g.add_and([leaf, leaf], cost=1.0)
+        assert ao_star_explicit(g, anded).cost == 15.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    n=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_explicit_ao_star_optimal(seed, n):
+    rng = np.random.default_rng(seed)
+    dims = list(rng.integers(1, 30, size=n + 1))
+    mc = matrix_chain_andor(dims)
+    res = ao_star_explicit(mc.graph, mc.root)
+    assert res.cost == solve_matrix_chain(dims).cost

@@ -1,0 +1,88 @@
+"""Unit tests for the clocked AND/OR planar-array simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.andor import (
+    fold_multistage,
+    map_to_array,
+    matrix_chain_andor,
+    serialize,
+    simulate_andor_array,
+)
+from repro.dp import solve_matrix_chain
+from repro.graphs import uniform_multistage
+
+
+class TestValues:
+    def test_matches_evaluate_on_folded_graph(self, rng):
+        g = uniform_multistage(rng, 5, 3)
+        fm = fold_multistage(g, p=2)
+        run = simulate_andor_array(fm.graph)
+        assert np.allclose(run.values, fm.graph.evaluate())
+
+    def test_matches_dp_on_serialized_chain_graph(self, rng):
+        dims = list(rng.integers(1, 25, size=7))
+        mc = matrix_chain_andor(dims)
+        ser = serialize(mc.graph)
+        run = simulate_andor_array(ser.graph)
+        assert run.values[ser.node_map[mc.root]] == solve_matrix_chain(dims).cost
+
+    def test_dummies_pass_through(self, rng):
+        dims = list(rng.integers(1, 15, size=6))
+        mc = matrix_chain_andor(dims)
+        ser = serialize(mc.graph)
+        run = simulate_andor_array(ser.graph)
+        orig = mc.graph.evaluate()
+        for old, new in ser.node_map.items():
+            assert run.values[new] == orig[old]
+
+
+class TestSchedule:
+    def test_ticks_match_analytic_mapping(self, rng):
+        for n in (4, 6, 8):
+            dims = list(rng.integers(1, 15, size=n + 1))
+            ser = serialize(matrix_chain_andor(dims).graph)
+            run = simulate_andor_array(ser.graph)
+            lm = map_to_array(ser.graph)
+            assert run.report.iterations == lm.steps
+            assert run.report.wall_ticks == lm.steps
+
+    def test_capacity_effect_matches_mapping(self, rng):
+        g = uniform_multistage(rng, 9, 3)
+        fm = fold_multistage(g, p=2)
+        for cap in (1, 2, 4):
+            run = simulate_andor_array(fm.graph, compare_capacity=cap)
+            lm = map_to_array(fm.graph, compare_capacity=cap)
+            assert run.report.iterations == lm.steps, cap
+
+    def test_levels_take_at_least_one_tick(self, rng):
+        g = uniform_multistage(rng, 3, 2)
+        fm = fold_multistage(g, p=2)
+        run = simulate_andor_array(fm.graph)
+        assert all(t >= 1 for t in run.ticks_per_level)
+        assert len(run.ticks_per_level) == int(run.level_of.max()) + 1
+
+    def test_or_folds_counted(self, rng):
+        g = uniform_multistage(rng, 3, 3)  # OR nodes have 3 alternatives
+        fm = fold_multistage(g, p=2)
+        run = simulate_andor_array(fm.graph, compare_capacity=1)
+        # With capacity 1, the OR level needs 1 + (m-1 - 1) extra ticks:
+        # first alternative seeds the accumulator, two folds remain.
+        or_level_ticks = run.ticks_per_level[2]
+        assert or_level_ticks == 2
+
+
+class TestValidation:
+    def test_rejects_nonserial(self):
+        mc = matrix_chain_andor([2, 3, 4, 5])
+        with pytest.raises(ValueError, match="serialize"):
+            simulate_andor_array(mc.graph)
+
+    def test_rejects_bad_capacity(self, rng):
+        g = uniform_multistage(rng, 3, 2)
+        fm = fold_multistage(g, p=2)
+        with pytest.raises(ValueError):
+            simulate_andor_array(fm.graph, compare_capacity=0)

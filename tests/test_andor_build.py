@@ -1,0 +1,135 @@
+"""Unit tests for the Figure-7 and Figure-2 AND/OR graph builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.andor import (
+    NodeKind,
+    fold_multistage,
+    matrix_chain_andor,
+    u_and_nodes,
+    u_or_nodes,
+    u_total_nodes,
+)
+from repro.dp import solve_matrix_chain
+from repro.graphs import uniform_multistage
+from repro.semiring import MIN_PLUS, chain_product
+
+
+class TestFoldMultistage:
+    @pytest.mark.parametrize("n_layers,p,m", [(2, 2, 2), (4, 2, 3), (4, 4, 2), (8, 2, 2), (9, 3, 2)])
+    def test_node_count_matches_eq32(self, rng, n_layers, p, m):
+        g = uniform_multistage(rng, n_layers + 1, m)
+        fm = fold_multistage(g, p=p)
+        assert len(fm.graph) == u_total_nodes(n_layers, m, p)
+        assert fm.graph.count_kind(NodeKind.AND) == u_and_nodes(n_layers, m, p)
+        or_and_leaves = fm.graph.count_kind(NodeKind.OR) + fm.graph.count_kind(
+            NodeKind.LEAF
+        )
+        assert or_and_leaves == u_or_nodes(n_layers, m, p)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_values_match_chain_product(self, rng, p):
+        g = uniform_multistage(rng, 5, 3)  # 4 layers
+        fm = fold_multistage(g, p=p)
+        vals = fm.graph.evaluate()
+        root = np.array(
+            [[vals[fm.root_or[u, v]] for v in range(3)] for u in range(3)]
+        )
+        ref = chain_product(MIN_PLUS, g.as_matrices())
+        assert np.allclose(root, ref)
+
+    def test_graph_is_serial(self, rng):
+        g = uniform_multistage(rng, 5, 2)
+        fm = fold_multistage(g, p=2)
+        assert fm.graph.is_serial()
+
+    def test_height_is_2_logp_n(self, rng):
+        g = uniform_multistage(rng, 9, 2)  # N = 8 layers
+        fm = fold_multistage(g, p=2)
+        root = int(fm.root_or[0, 0])
+        assert fm.graph.height(root) == 2 * 3  # 2·log2(8)
+
+    def test_solution_tree_is_valid_path(self, rng):
+        g = uniform_multistage(rng, 5, 3)
+        fm = fold_multistage(g, p=2)
+        vals = fm.graph.evaluate()
+        best = min(
+            (int(fm.root_or[u, v]) for u in range(3) for v in range(3)),
+            key=lambda nid: vals[nid],
+        )
+        tree = fm.graph.solution_tree(best)
+        # The chosen leaves form a source->sink path: one per layer.
+        leaves = [
+            fm.graph.nodes[n]
+            for n in tree.nodes
+            if fm.graph.nodes[n].kind is NodeKind.LEAF
+        ]
+        assert len(leaves) == g.num_layers
+        total = sum(leaf.cost for leaf in leaves)
+        assert np.isclose(total, tree.cost)
+
+    def test_invalid_p_rejected(self, rng):
+        g = uniform_multistage(rng, 5, 2)
+        with pytest.raises(ValueError):
+            fold_multistage(g, p=1)
+        with pytest.raises(ValueError, match="power"):
+            fold_multistage(g, p=3)  # 4 layers not a power of 3
+
+    def test_nonuniform_rejected(self, rng):
+        from repro.graphs import random_multistage
+
+        g = random_multistage(rng, [2, 3, 2])
+        with pytest.raises(ValueError, match="uniform"):
+            fold_multistage(g, p=2)
+
+
+class TestMatrixChainAndor:
+    def test_root_value_is_dp_optimum(self, rng):
+        for _ in range(5):
+            dims = list(rng.integers(1, 30, size=rng.integers(3, 9)))
+            mc = matrix_chain_andor(dims)
+            vals = mc.graph.evaluate()
+            assert vals[mc.root] == solve_matrix_chain(dims).cost
+
+    def test_every_subchain_value(self, rng):
+        dims = list(rng.integers(1, 20, size=6))
+        mc = matrix_chain_andor(dims)
+        vals = mc.graph.evaluate()
+        for (i, j), nid in mc.or_node.items():
+            sub = solve_matrix_chain(dims[i - 1 : j + 1])
+            assert vals[nid] == sub.cost, (i, j)
+
+    def test_figure2_shape_for_four_matrices(self):
+        mc = matrix_chain_andor([2, 3, 4, 5, 6])
+        g = mc.graph
+        # 4 leaves + OR nodes for 6 proper subchains + AND per split:
+        # spans 2,3,4 -> 3+2+1 = 6 ORs; ANDs = 3*1 + 2*2 + 1*3 = 10.
+        assert g.count_kind(NodeKind.LEAF) == 4
+        assert g.count_kind(NodeKind.OR) == 6
+        assert g.count_kind(NodeKind.AND) == 10
+
+    def test_nonserial_for_three_plus(self):
+        assert not matrix_chain_andor([2, 3, 4, 5]).graph.is_serial()
+
+    def test_serial_for_two(self):
+        # Two matrices: single split, arcs all adjacent.
+        assert matrix_chain_andor([2, 3, 4]).graph.is_serial()
+
+    def test_and_local_costs(self):
+        dims = [2, 3, 4, 5]
+        mc = matrix_chain_andor(dims)
+        and_costs = sorted(
+            n.cost for n in mc.graph.nodes if n.kind is NodeKind.AND
+        )
+        # (1,1,3): r0*r1*r3 = 30; (1,2,3): r0*r2*r3 = 40; plus the two
+        # span-2 ANDs 24 and 60.
+        assert and_costs == [24.0, 30.0, 40.0, 60.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matrix_chain_andor([5])
+        with pytest.raises(ValueError):
+            matrix_chain_andor([2, 0, 3])

@@ -1,0 +1,94 @@
+"""Unit tests for the Theorem-2 node-count analysis (eq. 32-33)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.andor import du_dp, is_valid_instance, optimal_partition, u_total_nodes
+from repro.andor.counts import u_and_nodes, u_or_nodes
+
+
+class TestClosedForm:
+    def test_levels_sum_directly(self):
+        # Recompute u(p) as the explicit level sums of the proof.
+        import math
+
+        for n, m, p in [(8, 3, 2), (16, 2, 2), (9, 2, 3), (16, 2, 4)]:
+            q = int(math.log(n, p) + 0.5)
+            and_sum = sum(p**i * m ** (p + 1) for i in range(q))
+            or_sum = sum(p**j * m * m for j in range(q + 1))
+            assert u_and_nodes(n, m, p) == and_sum
+            assert u_or_nodes(n, m, p) == or_sum
+            assert u_total_nodes(n, m, p) == and_sum + or_sum
+
+    def test_example_small(self):
+        # N=2, p=2, m: one AND level m^3, OR levels m^2 + 2m^2.
+        assert u_total_nodes(2, 3, 2) == 27 + 9 + 18
+
+    def test_invalid_combo_rejected(self):
+        with pytest.raises(ValueError):
+            u_total_nodes(6, 3, 4)  # 6 not a power of 4
+        with pytest.raises(ValueError):
+            u_total_nodes(4, 0, 2)
+
+
+class TestTheorem2:
+    def test_binary_beats_larger_p_for_m3(self):
+        # m >= 3, p >= 2: u increases monotonically in p.
+        n = 64
+        m = 3
+        values = [u_total_nodes(n, m, p) for p in (2, 4, 8) if is_valid_instance(n, p)]
+        assert values == sorted(values)
+        assert values[0] < values[1] < values[2]
+
+    def test_binary_beats_larger_p_for_m2(self):
+        n = 64
+        values = [u_total_nodes(n, 2, p) for p in (2, 4, 8)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_derivative_positive_in_most_of_theorem_region(self):
+        # ∂u/∂p > 0 for m >= 4 at p = 2, and for m >= 2 at p >= 3.
+        assert du_dp(16, 4, 2.0) > 0
+        assert du_dp(16, 5, 2.5) > 0
+        assert du_dp(16, 2, 3.0) > 0
+        assert du_dp(16, 3, 2.5) > 0
+
+    def test_paper_derivative_claim_fails_at_m3_p2(self):
+        # Reproduction finding (recorded in EXPERIMENTS.md): eq. (33) is
+        # *negative* at exactly (m=3, p=2) — 27·(ln3 − 1) < 9 — so the
+        # paper's "∂u/∂p ≥ 0 for p ≥ 2, m ≥ 3" is slightly overstated.
+        # Theorem 2's integer conclusion survives: u(2) < u(p) for all
+        # admissible p > 2 (test_binary_beats_larger_p_for_m3).
+        assert du_dp(16, 3, 2.0) < 0
+
+    def test_derivative_at_m2_p2_is_negative(self):
+        # The theorem's excluded corner: m=2, p=2 is where monotonicity
+        # is not guaranteed by the derivative argument.
+        assert du_dp(16, 2, 2.0) < 0
+
+    def test_derivative_validation(self):
+        with pytest.raises(ValueError):
+            du_dp(8, 3, 1.0)
+
+    def test_optimal_partition_is_two(self):
+        for n in (4, 16, 64):
+            for m in (2, 3, 4):
+                best, _ = optimal_partition(n, m)
+                assert best == 2
+
+    def test_optimal_partition_on_power_of_three(self):
+        best, _ = optimal_partition(27, 3)
+        assert best == 3  # only admissible factor
+
+    def test_optimal_partition_no_candidates(self):
+        with pytest.raises(ValueError):
+            optimal_partition(1, 3)
+
+
+class TestValidity:
+    def test_is_valid_instance(self):
+        assert is_valid_instance(8, 2)
+        assert is_valid_instance(9, 3)
+        assert not is_valid_instance(6, 4)
+        assert not is_valid_instance(8, 1)
+        assert not is_valid_instance(0, 2)

@@ -1,0 +1,122 @@
+"""Unit tests for the AND/OR graph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.andor import AndOrGraph, NodeKind
+from repro.semiring import MAX_PLUS
+
+
+def small_graph() -> tuple[AndOrGraph, int]:
+    """OR(AND(2, 3) + 1, leaf 10) -> root; AND has local cost 1."""
+    g = AndOrGraph()
+    l2 = g.add_leaf(2.0)
+    l3 = g.add_leaf(3.0)
+    l10 = g.add_leaf(10.0)
+    a = g.add_and([l2, l3], cost=1.0)
+    root = g.add_or([a, l10])
+    return g, root
+
+
+class TestConstruction:
+    def test_counts(self):
+        g, _ = small_graph()
+        assert len(g) == 5
+        assert g.count_kind(NodeKind.LEAF) == 3
+        assert g.count_kind(NodeKind.AND) == 1
+        assert g.count_kind(NodeKind.OR) == 1
+        assert g.num_arcs() == 4
+
+    def test_forward_reference_rejected(self):
+        g = AndOrGraph()
+        g.add_leaf(1.0)
+        with pytest.raises(ValueError, match="bottom-up"):
+            g.add_or([5])
+
+    def test_childless_internal_rejected(self):
+        g = AndOrGraph()
+        with pytest.raises(ValueError):
+            g.add_and([])
+        with pytest.raises(ValueError):
+            g.add_or([])
+
+
+class TestEvaluation:
+    def test_min_plus_semantics(self):
+        g, root = small_graph()
+        vals = g.evaluate()
+        # AND = 2 + 3 + 1 = 6; OR = min(6, 10) = 6.
+        assert vals[root] == 6.0
+
+    def test_or_picks_cheaper_leaf(self):
+        g = AndOrGraph()
+        l2 = g.add_leaf(2.0)
+        l3 = g.add_leaf(3.0)
+        l10 = g.add_leaf(1.0)
+        a = g.add_and([l2, l3], cost=1.0)
+        root = g.add_or([a, l10])
+        assert g.evaluate()[root] == 1.0
+
+    def test_max_plus_semantics(self):
+        g = AndOrGraph(MAX_PLUS)
+        a = g.add_leaf(2.0)
+        b = g.add_leaf(7.0)
+        root = g.add_or([a, b])
+        assert g.evaluate()[root] == 7.0
+
+    def test_shared_subgraph_evaluated_once(self):
+        # Folded graph: one leaf feeding two AND parents.
+        g = AndOrGraph()
+        shared = g.add_leaf(5.0)
+        a1 = g.add_and([shared], cost=1.0)
+        a2 = g.add_and([shared], cost=2.0)
+        root = g.add_or([a1, a2])
+        assert g.evaluate()[root] == 6.0
+
+
+class TestLevelsAndSeriality:
+    def test_levels_longest_path(self):
+        g, root = small_graph()
+        lv = g.levels()
+        assert lv[root] == 2
+        assert g.height(root) == 2
+
+    def test_serial_detection(self):
+        g, _root = small_graph()
+        # leaf 10 connects level 0 -> level 2 OR: nonserial.
+        assert not g.is_serial()
+
+    def test_strictly_layered_graph_is_serial(self):
+        g = AndOrGraph()
+        l1 = g.add_leaf(1.0)
+        l2 = g.add_leaf(2.0)
+        a = g.add_and([l1, l2])
+        b = g.add_and([l1, l2])
+        g.add_or([a, b])
+        assert g.is_serial()
+
+
+class TestSolutionTree:
+    def test_tree_contains_winning_branch(self):
+        g, root = small_graph()
+        tree = g.solution_tree(root)
+        assert tree.cost == 6.0
+        assert tree.chosen[root] == 3  # the AND node id
+        assert 0 in tree.nodes and 1 in tree.nodes  # both AND children
+        assert 2 not in tree.nodes  # losing leaf excluded
+
+    def test_tree_switches_with_costs(self):
+        g = AndOrGraph()
+        l_a = g.add_leaf(9.0)
+        l_b = g.add_leaf(1.0)
+        root = g.add_or([l_a, l_b])
+        tree = g.solution_tree(root)
+        assert tree.chosen[root] == l_b
+
+    def test_reuses_precomputed_values(self):
+        g, root = small_graph()
+        vals = g.evaluate()
+        tree = g.solution_tree(root, vals)
+        assert tree.cost == vals[root]

@@ -1,0 +1,80 @@
+"""Unit tests for the level-synchronous array mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.andor import (
+    fold_multistage,
+    map_to_array,
+    matrix_chain_andor,
+    serialize,
+)
+from repro.dp import solve_matrix_chain
+from repro.graphs import uniform_multistage
+from repro.systolic import t_p_recurrence
+
+
+class TestMapping:
+    def test_rejects_nonserial(self, rng):
+        mc = matrix_chain_andor([2, 3, 4, 5])
+        with pytest.raises(ValueError, match="serialize"):
+            map_to_array(mc.graph)
+
+    def test_maps_serialized_chain_graph(self, rng):
+        dims = list(rng.integers(1, 20, size=6))
+        mc = matrix_chain_andor(dims)
+        ser = serialize(mc.graph)
+        lm = map_to_array(ser.graph)
+        assert lm.values[ser.node_map[mc.root]] == solve_matrix_chain(dims).cost
+        assert lm.num_levels == ser.serialized_levels
+        assert lm.dummy_nodes == ser.dummies_added
+        assert lm.num_pes == len(ser.graph)
+
+    def test_chain_levels_are_2n_minus_1(self, rng):
+        # Leaf level + (AND level + OR level) per span 2..N.
+        for n in (3, 5, 7):
+            dims = list(rng.integers(1, 9, size=n + 1))
+            ser = serialize(matrix_chain_andor(dims).graph)
+            lm = map_to_array(ser.graph)
+            assert lm.num_levels == 2 * n - 1
+
+    def test_steps_track_tp_order(self, rng):
+        # The mapped schedule length grows like T_p(N) = 2N: same order,
+        # within a small additive constant of the Prop-3 recurrence.
+        for n in (4, 6, 8):
+            dims = list(rng.integers(1, 9, size=n + 1))
+            ser = serialize(matrix_chain_andor(dims).graph)
+            steps = map_to_array(ser.graph).steps
+            assert abs(steps - t_p_recurrence(n)) <= n  # same 2N order
+            assert steps >= 2 * n - 1
+
+    def test_folded_multistage_maps_directly(self, rng):
+        g = uniform_multistage(rng, 5, 2)
+        fm = fold_multistage(g, p=2)
+        lm = map_to_array(fm.graph)
+        assert lm.dummy_nodes == 0
+        assert lm.num_levels == fm.graph.height(int(fm.root_or[0, 0])) + 1
+
+    def test_compare_capacity_shortens_or_levels(self, rng):
+        g = uniform_multistage(rng, 9, 3)  # wide OR nodes (m^{p-1}=3 arcs)
+        fm = fold_multistage(g, p=2)
+        slow = map_to_array(fm.graph, compare_capacity=1)
+        fast = map_to_array(fm.graph, compare_capacity=8)
+        assert fast.steps <= slow.steps
+
+    def test_bad_capacity_rejected(self, rng):
+        g = uniform_multistage(rng, 3, 2)
+        fm = fold_multistage(g, p=2)
+        with pytest.raises(ValueError):
+            map_to_array(fm.graph, compare_capacity=0)
+
+    def test_ops_accounting(self, rng):
+        g = uniform_multistage(rng, 3, 2)  # N=2, p=2 folded graph
+        fm = fold_multistage(g, p=2)
+        lm = map_to_array(fm.graph)
+        # Level 1: m^3 AND nodes with 2 children each -> 2 ops apiece.
+        assert lm.ops_per_level[1] == 8 * 2
+        # Level 2: m^2 OR nodes over m alternatives -> m-1 folds apiece.
+        assert lm.ops_per_level[2] == 4 * 1

@@ -1,0 +1,78 @@
+"""Unit tests for bottom-up and AO*-style AND/OR search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.andor import ao_star, bottom_up, fold_multistage, matrix_chain_andor
+from repro.dp import solve_matrix_chain
+from repro.graphs import uniform_multistage
+
+
+class TestBottomUp:
+    def test_values_and_widths(self, rng):
+        dims = list(rng.integers(1, 20, size=6))
+        mc = matrix_chain_andor(dims)
+        res = bottom_up(mc.graph)
+        assert res.values[mc.root] == solve_matrix_chain(dims).cost
+        assert sum(res.level_widths) == len(mc.graph)
+        assert res.num_levels == len(res.level_widths)
+        assert res.max_width == max(res.level_widths)
+
+    def test_leaves_at_level_zero(self, rng):
+        g = uniform_multistage(rng, 3, 2)
+        fm = fold_multistage(g, p=2)
+        res = bottom_up(fm.graph)
+        from repro.andor import NodeKind
+
+        n_leaves = fm.graph.count_kind(NodeKind.LEAF)
+        assert res.level_widths[0] == n_leaves
+
+
+class TestAOStar:
+    def test_matches_bottom_up(self, rng):
+        for _ in range(5):
+            dims = list(rng.integers(1, 25, size=rng.integers(3, 9)))
+            mc = matrix_chain_andor(dims)
+            ref = bottom_up(mc.graph).values[mc.root]
+            res = ao_star(mc.graph, mc.root)
+            assert res.cost == ref
+
+    def test_matches_on_folded_multistage(self, rng):
+        g = uniform_multistage(rng, 5, 3)
+        fm = fold_multistage(g, p=2)
+        vals = fm.graph.evaluate()
+        for u in range(3):
+            for v in range(3):
+                nid = int(fm.root_or[u, v])
+                assert ao_star(fm.graph, nid).cost == pytest.approx(vals[nid])
+
+    def test_pruning_can_fire(self, rng):
+        # With spread-out costs some AND expansions must be cut.
+        fired = 0
+        for seed in range(10):
+            r = np.random.default_rng(seed)
+            dims = list(r.integers(1, 100, size=8))
+            mc = matrix_chain_andor(dims)
+            fired += ao_star(mc.graph, mc.root).pruned_and_nodes
+        assert fired > 0
+
+    def test_prune_false_visits_everything_reachable(self, rng):
+        dims = list(rng.integers(1, 20, size=7))
+        mc = matrix_chain_andor(dims)
+        res = ao_star(mc.graph, mc.root, prune=False)
+        assert res.pruned_and_nodes == 0
+        assert res.cost == solve_matrix_chain(dims).cost
+        assert res.nodes_visited == res.nodes_total
+
+    def test_visits_never_exceed_total(self, rng):
+        dims = list(rng.integers(1, 20, size=9))
+        mc = matrix_chain_andor(dims)
+        res = ao_star(mc.graph, mc.root)
+        assert res.nodes_visited <= res.nodes_total
+
+    def test_bad_root_rejected(self, rng):
+        mc = matrix_chain_andor([2, 3, 4])
+        with pytest.raises(ValueError):
+            ao_star(mc.graph, 999)

@@ -1,0 +1,93 @@
+"""Unit tests for the Figure-8 serialization transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.andor import (
+    NodeKind,
+    bottom_up,
+    fold_multistage,
+    matrix_chain_andor,
+    serialize,
+)
+from repro.graphs import uniform_multistage
+
+
+class TestSerialize:
+    def test_output_is_serial(self, rng):
+        for size in (4, 6, 9):
+            dims = list(rng.integers(1, 20, size=size))
+            ser = serialize(matrix_chain_andor(dims).graph)
+            assert ser.graph.is_serial()
+
+    def test_values_preserved_node_for_node(self, rng):
+        dims = list(rng.integers(1, 20, size=7))
+        mc = matrix_chain_andor(dims)
+        orig_vals = mc.graph.evaluate()
+        ser = serialize(mc.graph)
+        new_vals = ser.graph.evaluate()
+        for old, new in ser.node_map.items():
+            assert new_vals[new] == orig_vals[old]
+
+    def test_levels_unchanged(self, rng):
+        dims = list(rng.integers(1, 20, size=6))
+        mc = matrix_chain_andor(dims)
+        ser = serialize(mc.graph)
+        assert ser.original_levels == ser.serialized_levels
+        old_levels = mc.graph.levels()
+        new_levels = ser.graph.levels()
+        for old, new in ser.node_map.items():
+            assert new_levels[new] == old_levels[old]
+
+    def test_serial_graph_needs_no_dummies(self, rng):
+        g = uniform_multistage(rng, 5, 2)
+        fm = fold_multistage(g, p=2)
+        assert fm.graph.is_serial()
+        ser = serialize(fm.graph)
+        assert ser.dummies_added == 0
+        assert len(ser.graph) == len(fm.graph)
+
+    def test_dummy_count_for_four_matrix_chain(self):
+        # Figure 8 setting: N = 4 matrices.
+        mc = matrix_chain_andor([2, 3, 4, 5, 6])
+        ser = serialize(mc.graph)
+        assert ser.dummies_added > 0
+        # Each dummy is a single-child OR labelled as such.
+        dummies = [
+            n
+            for n in ser.graph.nodes
+            if isinstance(n.label, tuple) and n.label[:1] == ("dummy",)
+        ]
+        assert len(dummies) == ser.dummies_added
+        assert all(len(n.children) == 1 for n in dummies)
+
+    def test_dummy_chains_are_shared(self, rng):
+        # A deep leaf consumed by several parents gets one chain, not one
+        # per parent: dummies <= sum over arcs of (span - 1) strictly.
+        dims = list(rng.integers(1, 9, size=8))
+        mc = matrix_chain_andor(dims)
+        levels = mc.graph.levels()
+        naive = sum(
+            int(levels[n.id]) - int(levels[c]) - 1
+            for n in mc.graph.nodes
+            for c in n.children
+        )
+        ser = serialize(mc.graph)
+        assert ser.dummies_added < naive
+
+    def test_all_arcs_adjacent_after(self, rng):
+        dims = list(rng.integers(1, 15, size=6))
+        ser = serialize(matrix_chain_andor(dims).graph)
+        levels = ser.graph.levels()
+        for node in ser.graph.nodes:
+            for c in node.children:
+                assert levels[node.id] - levels[c] == 1
+
+    def test_idempotent(self, rng):
+        dims = list(rng.integers(1, 15, size=6))
+        once = serialize(matrix_chain_andor(dims).graph)
+        twice = serialize(once.graph)
+        assert twice.dummies_added == 0
+        assert len(twice.graph) == len(once.graph)

@@ -1,0 +1,51 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemo:
+    def test_demo_prints_all_classes(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        for cls in ("monadic-serial", "polyadic-serial", "monadic-nonserial", "polyadic-nonserial"):
+            assert cls in out
+        assert "True" in out and "False" not in out
+
+    def test_demo_seed_changes_instances(self, capsys):
+        main(["demo", "--seed", "1"])
+        out1 = capsys.readouterr().out
+        main(["demo", "--seed", "2"])
+        out2 = capsys.readouterr().out
+        assert out1 != out2  # random workloads differ
+        main(["demo", "--seed", "1"])
+        assert capsys.readouterr().out == out1  # but are reproducible
+
+
+class TestFig6:
+    def test_fig6_small_n(self, capsys):
+        assert main(["fig6", "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "argmin of K*T^2" in out
+        assert "N/log2(N) = 32" in out
+
+    def test_fig6_default(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "K = 399" in out  # the measured argmin for N=4096
+
+
+class TestSpacetime:
+    def test_spacetime_renders(self, capsys):
+        assert main(["spacetime", "--stages", "3", "--values", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "P1" in out and "P2" in out
+        assert "F0" in out
+        assert "8 iterations" in out  # (N+1)*m = 4*2
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

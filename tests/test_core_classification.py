@@ -1,0 +1,111 @@
+"""Unit tests for the four-way classifier and Table-1 recommendations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Arity, DPClass, MatrixChainProblem, Structure, classify, recommend
+from repro.core import classify_terms
+from repro.dp import NonserialObjective, banded_objective
+from repro.graphs import Term, fig1a_graph, fig1b_problem, uniform_multistage
+
+
+def serial_objective():
+    domains = {f"X{i}": np.arange(3.0) for i in range(1, 5)}
+    return NonserialObjective(
+        domains=domains,
+        terms=tuple(
+            ((f"X{i}", f"X{i+1}"), lambda a, b: np.abs(a - b)) for i in range(1, 4)
+        ),
+    )
+
+
+class TestClassify:
+    def test_multistage_graph_defaults_monadic_serial(self):
+        assert classify(fig1a_graph()) is DPClass.MONADIC_SERIAL
+
+    def test_polyadic_view_of_serial_problem(self):
+        assert classify(fig1a_graph(), arity=Arity.POLYADIC) is DPClass.POLYADIC_SERIAL
+
+    def test_node_value_problem(self):
+        assert classify(fig1b_problem()) is DPClass.MONADIC_SERIAL
+
+    def test_matrix_chain_always_polyadic_nonserial(self):
+        p = MatrixChainProblem((2, 3, 4))
+        assert classify(p) is DPClass.POLYADIC_NONSERIAL
+        assert classify(p, arity=Arity.MONADIC) is DPClass.POLYADIC_NONSERIAL
+
+    def test_banded_objective_is_monadic_nonserial(self, rng):
+        assert classify(banded_objective(rng, [2, 2, 2])) is DPClass.MONADIC_NONSERIAL
+
+    def test_serial_objective_is_serial(self):
+        assert classify(serial_objective()) is DPClass.MONADIC_SERIAL
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            classify(42)
+
+    def test_class_properties(self):
+        assert DPClass.MONADIC_SERIAL.arity is Arity.MONADIC
+        assert DPClass.MONADIC_SERIAL.structure is Structure.SERIAL
+        assert DPClass.POLYADIC_NONSERIAL.arity is Arity.POLYADIC
+        assert DPClass.POLYADIC_NONSERIAL.structure is Structure.NONSERIAL
+
+
+class TestClassifyTerms:
+    def test_chain_terms(self):
+        terms = [Term(("a", "b")), Term(("b", "c"))]
+        assert classify_terms(terms) is Structure.SERIAL
+
+    def test_papers_nonserial_example(self):
+        terms = [Term(("X1", "X2", "X4")), Term(("X3", "X4")), Term(("X2", "X5"))]
+        assert classify_terms(terms) is Structure.NONSERIAL
+
+
+class TestRecommend:
+    def test_wide_graph_gets_systolic(self, rng):
+        g = uniform_multistage(rng, 4, 8)  # few stages, many states
+        rec = recommend(g)
+        assert rec.dp_class is DPClass.MONADIC_SERIAL
+        assert "matrix multiplications" in rec.method
+
+    def test_long_graph_gets_dnc(self, rng):
+        g = uniform_multistage(rng, 40, 3)  # many stages
+        rec = recommend(g)
+        assert rec.dp_class is DPClass.POLYADIC_SERIAL
+        assert "divide-and-conquer" in rec.method
+
+    def test_threshold_tunable(self, rng):
+        g = uniform_multistage(rng, 20, 3)
+        assert recommend(g, stage_ratio_threshold=10.0).dp_class is DPClass.MONADIC_SERIAL
+        assert recommend(g, stage_ratio_threshold=2.0).dp_class is DPClass.POLYADIC_SERIAL
+
+    def test_matrix_chain_row(self):
+        rec = recommend(MatrixChainProblem((2, 3, 4, 5)))
+        assert rec.dp_class is DPClass.POLYADIC_NONSERIAL
+        assert "AND/OR" in rec.method
+
+    def test_nonserial_objective_row(self, rng):
+        rec = recommend(banded_objective(rng, [2, 2, 2, 2]))
+        assert rec.dp_class is DPClass.MONADIC_NONSERIAL
+        assert "grouping" in rec.method
+
+    def test_serial_objective_row(self):
+        rec = recommend(serial_objective())
+        assert rec.dp_class is DPClass.MONADIC_SERIAL
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            recommend("nope")
+
+
+class TestMatrixChainProblem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatrixChainProblem((5,))
+        with pytest.raises(ValueError):
+            MatrixChainProblem((2, -1))
+
+    def test_num_matrices(self):
+        assert MatrixChainProblem((2, 3, 4)).num_matrices == 2

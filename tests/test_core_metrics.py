@@ -1,0 +1,54 @@
+"""Unit tests for the metric closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import eq9_pu, feedback_pu, measured_pu, speedup
+from repro.graphs import single_source_sink
+from repro.systolic import PipelinedMatrixStringArray
+
+
+class TestEq9:
+    def test_formula_identity(self):
+        # ((N-2)m² + m)/(N m²) == (N-2)/N + 1/(N m).
+        for n, m in [(4, 3), (10, 5), (100, 8)]:
+            assert eq9_pu(n, m) == pytest.approx((n - 2) / n + 1 / (n * m))
+
+    def test_limit_is_one(self):
+        assert eq9_pu(10_000, 64) > 0.999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            eq9_pu(0, 3)
+
+    def test_close_to_measured_pu(self, rng):
+        # Measured PU differs from eq. (9) only through the paper's
+        # N·m vs (N-1)·m iteration-count convention.
+        n_inter, m = 19, 4  # N = 20 layers
+        g = single_source_sink(rng, n_inter, m)
+        res = PipelinedMatrixStringArray().run_graph(g)
+        n = g.num_layers
+        paper = eq9_pu(n, m)
+        measured = measured_pu(res.report)
+        assert measured == pytest.approx(paper * n / (n - 1), rel=1e-9)
+        assert abs(measured - paper) < 0.06
+
+
+class TestFeedbackPU:
+    def test_known_value(self):
+        # Paper: ((N-1)m² + m)/((N+1)m²) for N=4, m=3.
+        assert feedback_pu(4, 3) == pytest.approx((3 * 9 + 3) / (5 * 9))
+
+    def test_limit_is_one(self):
+        assert feedback_pu(10_000, 16) > 0.999
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100, 10) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(10, 0)

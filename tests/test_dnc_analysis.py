@@ -1,0 +1,165 @@
+"""Unit tests for the Section-4 closed-form analysis (eq. 29, Prop. 1, Thm. 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dnc import (
+    argmin_kt2,
+    asymptotic_pu,
+    asymptotic_pu_limit,
+    at2_lower_bound,
+    at2_surface,
+    kt2,
+    kt2_curve,
+    optimal_granularity,
+    processor_utilization,
+    schedule_time,
+)
+
+
+class TestScheduleTime:
+    def test_eq29_worked_example(self):
+        # N=8, K=2: Tc = floor(7/2) = 3; residue = 8+1-6 = 3; Tw = 1.
+        st = schedule_time(8, 2)
+        assert st.computation == 3
+        assert st.wind_down == 1
+        assert st.total == 4
+
+    def test_single_matrix(self):
+        assert schedule_time(1, 5).total == 0
+
+    def test_single_processor(self):
+        # All N-1 multiplications sequential; wind-down collapses.
+        st = schedule_time(100, 1)
+        assert st.total == 99
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            schedule_time(0, 1)
+        with pytest.raises(ValueError):
+            schedule_time(4, 0)
+
+    def test_time_decreases_with_processors(self):
+        times = [schedule_time(1024, k).total for k in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+
+class TestProcessorUtilization:
+    def test_full_utilization_single_processor(self):
+        assert processor_utilization(50, 1) == pytest.approx(1.0)
+
+    def test_explicit_time_override(self):
+        assert processor_utilization(10, 3, time=3) == pytest.approx(1.0)
+
+    def test_pu_decreases_with_oversubscription(self):
+        n = 1 << 14
+        pus = [processor_utilization(n, k) for k in (16, 256, 4096)]
+        assert pus == sorted(pus, reverse=True)
+
+
+class TestProposition1:
+    def test_limit_values(self):
+        assert asymptotic_pu_limit(0.0) == 1.0
+        assert asymptotic_pu_limit(1.0) == 0.5
+        assert asymptotic_pu_limit(3.0) == 0.25
+        assert asymptotic_pu_limit(float("inf")) == 0.0
+        with pytest.raises(ValueError):
+            asymptotic_pu_limit(-1.0)
+
+    def test_sqrt_n_processors_pu_tends_to_one(self):
+        # c∞ = 0 regime: k(N) = sqrt(N).
+        pts = asymptotic_pu(lambda n: int(math.sqrt(n)), [2**i for i in range(8, 22, 2)])
+        pus = [pu for _n, pu in pts]
+        assert pus[-1] > 0.97
+        assert pus[-1] > pus[0]
+
+    def test_c_one_regime_tends_to_half(self):
+        # k(N) = N/log2 N -> PU -> 1/2.
+        pts = asymptotic_pu(
+            lambda n: int(n / math.log2(n)), [2**i for i in range(10, 24, 2)]
+        )
+        final = pts[-1][1]
+        assert abs(final - 0.5) < 0.08
+
+    def test_c_infinity_regime_tends_to_zero(self):
+        # k(N) = N processors: PU -> 0.
+        pts = asymptotic_pu(lambda n: n, [2**i for i in range(8, 22, 2)])
+        pus = [pu for _n, pu in pts]
+        assert pus[-1] < 0.12
+        assert pus[-1] < pus[0]
+
+    def test_c_two_regime(self):
+        pts = asymptotic_pu(
+            lambda n: int(2 * n / math.log2(n)), [2**i for i in range(12, 24, 2)]
+        )
+        assert abs(pts[-1][1] - asymptotic_pu_limit(2.0)) < 0.06
+
+
+class TestTheorem1:
+    def test_at2_minimum_region(self):
+        # S·T² is minimized (order-wise) at S = Θ(N/log₂N).
+        n = 1 << 16
+        s_opt = int(optimal_granularity(n))
+        at_opt = at2_surface(n, s_opt)
+        assert at_opt < at2_surface(n, max(1, s_opt // 50))
+        assert at_opt < at2_surface(n, min(n, s_opt * 50))
+
+    def test_at2_lower_bound_order(self):
+        # The achieved AT² at the optimal granularity is within a small
+        # constant of N log N.
+        for exp in (12, 16, 20):
+            n = 1 << exp
+            s_opt = int(optimal_granularity(n))
+            ratio = at2_surface(n, s_opt) / at2_lower_bound(n)
+            assert 0.5 < ratio < 8.0
+
+    def test_at2_validation(self):
+        with pytest.raises(ValueError):
+            at2_surface(0, 1)
+        with pytest.raises(ValueError):
+            at2_surface(8, 0)
+
+
+class TestFigure6:
+    def test_kt2_curve_shape(self):
+        ks = list(range(2, 4097))
+        curve = kt2_curve(4096, ks)
+        best = int(np.argmin(curve))
+        best_k = ks[best]
+        # The minimum falls near N/log2 N = 341 (paper quotes 431/465
+        # from its own evaluation; same valley).
+        assert 250 <= best_k <= 700
+
+    def test_argmin_matches_curve(self):
+        k, v = argmin_kt2(4096, k_min=2, k_max=4096)
+        ks = list(range(2, 4097))
+        curve = kt2_curve(4096, ks)
+        assert v == pytest.approx(curve.min())
+        assert k == ks[int(np.argmin(curve))]
+
+    def test_curve_is_jagged(self):
+        # The paper notes the curve is not smooth: adjacent K can jump.
+        ks = list(range(300, 600))
+        curve = kt2_curve(4096, ks)
+        diffs = np.diff(curve)
+        assert (diffs > 0).any() and (diffs < 0).any()
+
+    def test_kt2_scales_with_t1(self):
+        assert kt2(128, 8, t1=2.0) == pytest.approx(4 * kt2(128, 8, t1=1.0))
+
+    def test_paper_quoted_minima_are_near_optimal(self):
+        # K = 431 and K = 465 (the paper's reported minima) are within
+        # 10% of the exact argmin of eq. (29)'s KT².
+        _, vbest = argmin_kt2(4096, k_min=2, k_max=4096)
+        assert kt2(4096, 431) <= 1.10 * vbest
+        assert kt2(4096, 465) <= 1.10 * vbest
+
+
+class TestGranularity:
+    def test_optimal_granularity_values(self):
+        assert optimal_granularity(4096) == pytest.approx(4096 / 12)
+        assert optimal_granularity(1) == 1.0

@@ -1,0 +1,136 @@
+"""Unit tests for the K-array divide-and-conquer scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnc import rounds_only, schedule_time, simulate_chain_product
+from repro.semiring import MAX_PLUS, MIN_PLUS, chain_product
+
+
+class TestScheduleShape:
+    def test_single_processor_takes_n_minus_1_rounds(self):
+        res = simulate_chain_product(10, 1)
+        assert res.rounds == 9
+        assert res.total_multiplications == 9
+        assert res.processor_utilization == 1.0
+
+    def test_unlimited_processors_take_log_rounds(self):
+        res = simulate_chain_product(16, 100)
+        assert res.rounds == 4  # ceil(log2(16))
+
+    def test_total_work_invariant(self, rng):
+        for k in (1, 2, 3, 7):
+            res = simulate_chain_product(23, k)
+            assert res.total_multiplications == 22
+
+    def test_computation_plus_winddown(self):
+        res = simulate_chain_product(64, 4)
+        assert res.computation_rounds + res.wind_down_rounds == res.rounds
+        # With few processors most rounds are fully busy.
+        assert res.computation_rounds > res.wind_down_rounds
+
+    def test_busy_profile_monotone_tail(self):
+        # Once the segment count drops below 2K, busy counts shrink.
+        res = simulate_chain_product(40, 8)
+        busy = res.busy_per_round
+        tail = busy[res.computation_rounds :]
+        assert all(b < 8 for b in tail)
+
+    def test_kt2_property(self):
+        res = simulate_chain_product(100, 10)
+        assert res.kt2 == 10 * res.rounds**2
+
+
+class TestAgainstEq29:
+    @pytest.mark.parametrize("n", [4, 10, 33, 100, 257, 1024, 4096])
+    def test_matches_closed_form_in_domain(self, n):
+        # Eq. (29) models the regime K <= N/2 (wind-down starts with at
+        # least K live nodes); the simulator confirms it exactly there.
+        for k in range(1, n // 2 + 1, max(1, n // 20)):
+            assert rounds_only(n, k) == schedule_time(n, k).total, (n, k)
+
+    def test_diverges_when_oversubscribed(self):
+        # With K > N/2 the formula overestimates: documented limitation.
+        assert rounds_only(2, 3) == 1
+        assert schedule_time(2, 3).total > 1
+
+    def test_rounds_only_equals_simulation(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(2, 200))
+            k = int(rng.integers(1, 50))
+            assert rounds_only(n, k) == simulate_chain_product(n, k).rounds
+
+
+class TestPolicies:
+    def test_policies_have_equal_rounds(self, rng):
+        for _ in range(8):
+            n = int(rng.integers(2, 64))
+            k = int(rng.integers(1, 12))
+            a = simulate_chain_product(n, k, policy="leftmost")
+            b = simulate_chain_product(n, k, policy="balanced")
+            assert a.rounds == b.rounds, (n, k)
+
+    def test_both_policies_compute_correct_product(self, rng):
+        mats = [rng.uniform(0, 5, (3, 3)) for _ in range(13)]
+        ref = chain_product(MIN_PLUS, mats)
+        for pol in ("leftmost", "balanced"):
+            res = simulate_chain_product(13, 4, policy=pol, matrices=mats)
+            assert np.allclose(res.product, ref), pol
+
+    def test_rectangular_chain_product(self, rng):
+        shapes = [(2, 3), (3, 5), (5, 4), (4, 1), (1, 6)]
+        mats = [rng.uniform(0, 5, s) for s in shapes]
+        res = simulate_chain_product(5, 2, matrices=mats)
+        assert np.allclose(res.product, chain_product(MIN_PLUS, mats))
+
+    def test_max_plus_chain(self, rng):
+        mats = [rng.uniform(0, 5, (2, 2)) for _ in range(6)]
+        res = simulate_chain_product(
+            6, 2, matrices=mats, semiring=MAX_PLUS
+        )
+        assert np.allclose(res.product, chain_product(MAX_PLUS, mats))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            simulate_chain_product(8, 2, policy="random")
+
+
+class TestValidation:
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            simulate_chain_product(0, 2)
+        with pytest.raises(ValueError):
+            simulate_chain_product(4, 0)
+        with pytest.raises(ValueError):
+            rounds_only(0, 1)
+
+    def test_matrix_count_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            simulate_chain_product(3, 1, matrices=[rng.uniform(0, 1, (2, 2))])
+
+    def test_single_matrix_zero_rounds(self):
+        res = simulate_chain_product(1, 4)
+        assert res.rounds == 0
+        assert res.total_multiplications == 0
+
+
+@given(
+    n=st.integers(min_value=1, max_value=500),
+    k=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_sim_equals_recurrence(n, k):
+    assert rounds_only(n, k) == simulate_chain_product(n, k).rounds
+
+
+@given(
+    n=st.integers(min_value=4, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_eq29_exact_in_domain(n):
+    for k in range(1, n // 2 + 1):
+        assert rounds_only(n, k) == schedule_time(n, k).total

@@ -1,0 +1,60 @@
+"""Unit tests for the AND-tree structures behind the D&C analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dnc import balanced_tree, schedule_tree_height
+
+
+class TestBalancedTree:
+    def test_leaf_count(self):
+        for n in (1, 2, 5, 16, 33):
+            assert balanced_tree(n).num_leaves == n
+
+    def test_internal_count(self):
+        for n in (1, 2, 5, 16, 33):
+            assert balanced_tree(n).count_internal() == n - 1
+
+    def test_height_is_ceil_log2(self):
+        for n in (1, 2, 3, 4, 7, 8, 9, 100):
+            expected = math.ceil(math.log2(n)) if n > 1 else 0
+            assert balanced_tree(n).height() == expected
+
+    def test_depth_histogram_sums_to_internal(self):
+        tree = balanced_tree(16)
+        hist = tree.iter_internal_by_depth()
+        assert sum(hist.values()) == 15
+        assert hist[1] == 8  # lowest level pairs all leaves
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_tree(0)
+
+
+class TestScheduleTreeHeight:
+    def test_many_processors_balanced(self):
+        for n in (2, 8, 16, 31):
+            assert schedule_tree_height(n, n) == math.ceil(math.log2(n))
+
+    def test_single_processor_linear_chain_still_shallowish(self):
+        # Leftmost pairing with K=1 pairs (0,1), then... produces a
+        # deeper tree than balanced but height <= N - 1.
+        h = schedule_tree_height(8, 1)
+        assert math.ceil(math.log2(8)) <= h <= 7
+
+    def test_height_monotone_in_processors(self):
+        n = 64
+        heights = [schedule_tree_height(n, k) for k in (1, 2, 8, 32)]
+        assert heights == sorted(heights, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_tree_height(0, 1)
+        with pytest.raises(ValueError):
+            schedule_tree_height(4, 0)
+
+    def test_single_leaf(self):
+        assert schedule_tree_height(1, 3) == 0

@@ -1,0 +1,110 @@
+"""Unit tests for the general bandwidth-w grouping transform (Section 6.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp import (
+    banded_objective,
+    banded_objective_w,
+    brute_force_minimum,
+    eliminate,
+    group_variables_to_serial,
+    group_variables_to_serial_w,
+    solve_backward,
+)
+
+
+class TestBandedObjectiveW:
+    def test_bandwidth_3_matches_original_structure(self, rng):
+        obj = banded_objective_w(rng, [2, 3, 2, 3], 3)
+        assert [tvars for tvars, _ in obj.terms] == [
+            ("V1", "V2", "V3"),
+            ("V2", "V3", "V4"),
+        ]
+
+    def test_bandwidth_validation(self, rng):
+        with pytest.raises(ValueError):
+            banded_objective_w(rng, [2, 2], 1)
+        with pytest.raises(ValueError):
+            banded_objective_w(rng, [2, 2], 4)
+
+    def test_elimination_optimal(self, rng):
+        obj = banded_objective_w(rng, [2, 3, 2, 3, 2], 4)
+        res = eliminate(obj, joint_tail=3)
+        ref, _ = brute_force_minimum(obj)
+        assert np.isclose(res.optimum, ref)
+
+
+class TestGroupingW:
+    def test_matches_bandwidth3_transform(self, rng):
+        obj = banded_objective(rng, [3, 2, 3, 2])
+        g3, s3 = group_variables_to_serial(obj)
+        gw, sw = group_variables_to_serial_w(obj, 3)
+        assert g3.stage_sizes == gw.stage_sizes
+        assert np.isclose(
+            solve_backward(g3).optimum, solve_backward(gw).optimum
+        )
+        assert s3 == sw
+
+    def test_bandwidth_4_equivalence(self, rng):
+        obj = banded_objective_w(rng, [2, 3, 2, 3, 2], 4)
+        g, states = group_variables_to_serial_w(obj, 4)
+        direct = eliminate(obj, joint_tail=3)
+        assert np.isclose(solve_backward(g).optimum, direct.optimum)
+        # Composite domains are products of w-1 = 3 originals.
+        assert g.stage_sizes == (2 * 3 * 2, 3 * 2 * 3, 2 * 3 * 2)
+        assert len(states[0][0]) == 3
+
+    def test_bandwidth_2_is_identity_chain(self, rng):
+        obj = banded_objective_w(rng, [3, 4, 2], 2)
+        g, states = group_variables_to_serial_w(obj, 2)
+        assert g.stage_sizes == (3, 4, 2)  # composites = single originals
+        ref = eliminate(obj, joint_tail=1)
+        assert np.isclose(solve_backward(g).optimum, ref.optimum)
+
+    def test_composite_path_decodes(self, rng):
+        obj = banded_objective_w(rng, [2, 2, 3, 2, 2], 4)
+        g, states = group_variables_to_serial_w(obj, 4)
+        sol = solve_backward(g)
+        assign = {}
+        for stage, node in enumerate(sol.path.nodes):
+            for d, idx in enumerate(states[stage][node]):
+                assign[f"V{stage + d + 1}"] = idx
+        assert np.isclose(obj.evaluate(assign), sol.optimum)
+
+    def test_inconsistent_transitions_blocked(self, rng):
+        obj = banded_objective_w(rng, [2, 2, 2, 2], 3)
+        g, states = group_variables_to_serial_w(obj, 3)
+        for a, row in enumerate(states[0]):
+            for b, col in enumerate(states[1]):
+                if row[1:] != col[:-1]:
+                    assert np.isinf(g.costs[0][a, b])
+                else:
+                    assert np.isfinite(g.costs[0][a, b])
+
+    def test_non_banded_rejected(self, rng):
+        obj = banded_objective(rng, [2, 2, 2, 2])
+        with pytest.raises(ValueError, match="bandwidth-4"):
+            group_variables_to_serial_w(obj, 4)
+        with pytest.raises(ValueError):
+            group_variables_to_serial_w(obj, 1)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=300),
+    w=st.integers(min_value=2, max_value=4),
+    extra=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_grouping_w_equals_elimination(seed, w, extra):
+    rng = np.random.default_rng(seed)
+    n = w + 1 + extra
+    sizes = list(rng.integers(2, 4, size=n))
+    obj = banded_objective_w(rng, sizes, w)
+    g, _states = group_variables_to_serial_w(obj, w)
+    direct = eliminate(obj, joint_tail=min(w - 1, n - 1) if w > 2 else 1)
+    assert np.isclose(solve_backward(g).optimum, direct.optimum)

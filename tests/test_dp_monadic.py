@@ -1,0 +1,126 @@
+"""Unit tests for the monadic-serial sequential solvers (eqs. 1-2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_backward, solve_forward, solve_node_value
+from repro.graphs import (
+    MultistageGraph,
+    fig1a_graph,
+    fig1b_problem,
+    random_multistage,
+    single_source_sink,
+    uniform_multistage,
+)
+from repro.semiring import MAX_PLUS, PLUS_TIMES
+
+
+class TestBackward:
+    def test_fig1a_optimum(self):
+        sol = solve_backward(fig1a_graph())
+        assert sol.optimum == 6.0
+        assert sol.direction == "backward"
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(5):
+            g = random_multistage(rng, [2, 4, 3, 4, 2])
+            sol = solve_backward(g)
+            assert np.isclose(sol.optimum, g.brute_force_optimum()[0])
+
+    def test_path_realizes_optimum(self, rng):
+        g = uniform_multistage(rng, 7, 3)
+        sol = solve_backward(g)
+        assert np.isclose(g.path_cost(sol.path.nodes), sol.optimum)
+
+    def test_stage_values_are_costs_to_sink(self, rng):
+        g = uniform_multistage(rng, 5, 3)
+        sol = solve_backward(g)
+        # Stage-k value of node i == optimum of the subgraph from stage k.
+        sub = MultistageGraph(costs=g.costs[2:], semiring=g.semiring)
+        sub_sol = solve_backward(sub)
+        assert np.allclose(sol.stage_values[2], sub_sol.stage_values[0])
+
+    def test_decisions_are_consistent(self, rng):
+        g = uniform_multistage(rng, 6, 4)
+        sol = solve_backward(g)
+        for k in range(g.num_stages - 1):
+            for i in range(g.stage_sizes[k]):
+                j = sol.decisions[k][i]
+                expected = g.costs[k][i, j] + sol.stage_values[k + 1][j]
+                assert np.isclose(sol.stage_values[k][i], expected)
+
+    def test_op_count_formula(self, rng):
+        g = single_source_sink(rng, 5, 4)  # 7 stages, N = 6 layers
+        sol = solve_backward(g)
+        assert sol.op_count == (6 - 2) * 16 + 4 + 4  # all layers relaxed
+
+    def test_missing_edges_respected(self):
+        costs = (
+            np.array([[1.0, np.inf]]),
+            np.array([[np.inf], [5.0]]),
+        )
+        g = MultistageGraph(costs=costs)
+        sol = solve_backward(g)
+        assert np.isinf(sol.optimum)  # only path uses a missing edge
+
+
+class TestForward:
+    def test_fig1a_optimum(self):
+        sol = solve_forward(fig1a_graph())
+        assert sol.optimum == 6.0
+        assert sol.direction == "forward"
+
+    def test_agrees_with_backward(self, rng):
+        for _ in range(5):
+            g = random_multistage(rng, [3, 5, 2, 4, 3])
+            assert np.isclose(
+                solve_forward(g).optimum, solve_backward(g).optimum
+            )
+
+    def test_path_realizes_optimum(self, rng):
+        g = uniform_multistage(rng, 6, 4)
+        sol = solve_forward(g)
+        assert np.isclose(g.path_cost(sol.path.nodes), sol.optimum)
+
+    def test_stage_values_are_costs_from_source(self, rng):
+        g = uniform_multistage(rng, 5, 3)
+        sol = solve_forward(g)
+        sub = MultistageGraph(costs=g.costs[:2], semiring=g.semiring)
+        sub_sol = solve_forward(sub)
+        assert np.allclose(sol.stage_values[2], sub_sol.stage_values[-1])
+
+
+class TestSemiringVariants:
+    def test_max_plus_longest_path(self, rng):
+        costs = tuple(rng.uniform(0, 5, (3, 3)) for _ in range(3))
+        g = MultistageGraph(costs=costs, semiring=MAX_PLUS)
+        sol = solve_backward(g)
+        all_costs = [g.path_cost(p) for p in g.iter_paths()]
+        assert np.isclose(sol.optimum, max(all_costs))
+        assert np.isclose(g.path_cost(sol.path.nodes), sol.optimum)
+
+    def test_plus_times_rejected(self):
+        g = MultistageGraph(costs=(np.ones((2, 2)),), semiring=PLUS_TIMES)
+        with pytest.raises(ValueError, match="decision extraction"):
+            solve_backward(g)
+        with pytest.raises(ValueError, match="decision extraction"):
+            solve_forward(g)
+
+
+class TestNodeValue:
+    def test_matches_materialized_graph(self):
+        p = fig1b_problem()
+        sol = solve_node_value(p)
+        ref = solve_forward(p.to_graph())
+        assert np.isclose(sol.optimum, ref.optimum)
+
+    def test_h_values_are_forward_values(self, rng):
+        from repro.graphs import traffic_light_problem
+
+        p = traffic_light_problem(rng, 5, 4)
+        sol = solve_node_value(p)
+        # h(x_N) must be the per-node shortest path from stage 1.
+        assert len(sol.stage_values[-1]) == 4
+        assert np.isclose(min(sol.stage_values[-1]), sol.optimum)

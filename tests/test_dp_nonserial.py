@@ -1,0 +1,215 @@
+"""Unit + property tests for nonserial variable elimination (Section 6.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp import (
+    NonserialObjective,
+    banded_objective,
+    brute_force_minimum,
+    eliminate,
+    eq40_step_count,
+    group_variables_to_serial,
+    solve_backward,
+)
+
+
+def small_banded(seed: int, sizes):
+    return banded_objective(np.random.default_rng(seed), sizes)
+
+
+class TestObjective:
+    def test_variables_in_appearance_order(self, rng):
+        obj = banded_objective(rng, [2, 3, 2, 3])
+        assert obj.variables == ("V1", "V2", "V3", "V4")
+
+    def test_term_table_shape(self, rng):
+        obj = banded_objective(rng, [2, 3, 4])
+        tvars, table = obj.term_table(0)
+        assert tvars == ("V1", "V2", "V3")
+        assert table.shape == (2, 3, 4)
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            NonserialObjective(
+                domains={"a": np.array([1.0])},
+                terms=((("a", "b"), lambda x, y: x + y),),
+            )
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            NonserialObjective(domains={"a": np.array([1.0])}, terms=())
+
+    def test_evaluate_sums_terms(self, rng):
+        obj = banded_objective(rng, [2, 2, 2, 2])
+        val = obj.evaluate({"V1": 0, "V2": 1, "V3": 0, "V4": 1})
+        _, t0 = obj.term_table(0)
+        _, t1 = obj.term_table(1)
+        assert np.isclose(val, t0[0, 1, 0] + t1[1, 0, 1])
+
+
+class TestEliminate:
+    def test_matches_brute_force(self):
+        for seed in range(4):
+            obj = small_banded(seed, [3, 2, 3, 2])
+            res = eliminate(obj)
+            ref, _ = brute_force_minimum(obj)
+            assert np.isclose(res.optimum, ref)
+
+    def test_assignment_achieves_optimum(self):
+        obj = small_banded(9, [2, 3, 2, 3, 2])
+        res = eliminate(obj)
+        assert np.isclose(obj.evaluate(res.assignment), res.optimum)
+
+    def test_step_count_matches_eq40(self):
+        sizes = [3, 4, 2, 5, 3]
+        obj = small_banded(2, sizes)
+        res = eliminate(obj)
+        assert res.total_steps == eq40_step_count(sizes)
+
+    def test_eq40_closed_form(self):
+        sizes = [2, 3, 4, 5]
+        expected = 2 * 3 * 4 + 3 * 4 * 5 + 4 * 5
+        assert eq40_step_count(sizes) == expected
+
+    def test_eq40_needs_three_variables(self):
+        with pytest.raises(ValueError):
+            eq40_step_count([2, 3])
+
+    def test_custom_order_same_optimum(self):
+        obj = small_banded(5, [2, 3, 2, 3])
+        natural = eliminate(obj)
+        reversed_order = eliminate(obj, order=("V4", "V3", "V2", "V1"))
+        assert np.isclose(natural.optimum, reversed_order.optimum)
+
+    def test_bad_order_rejected(self):
+        obj = small_banded(1, [2, 2, 2])
+        with pytest.raises(ValueError, match="permutation"):
+            eliminate(obj, order=("V1", "V2"))
+
+    def test_joint_tail_variants_agree(self):
+        obj = small_banded(3, [2, 3, 2, 3])
+        full = eliminate(obj, joint_tail=1)
+        pair = eliminate(obj, joint_tail=2)
+        triple = eliminate(obj, joint_tail=3)
+        assert np.isclose(full.optimum, pair.optimum)
+        assert np.isclose(pair.optimum, triple.optimum)
+
+    def test_bad_joint_tail_rejected(self):
+        obj = small_banded(1, [2, 2, 2])
+        with pytest.raises(ValueError):
+            eliminate(obj, joint_tail=0)
+        with pytest.raises(ValueError):
+            eliminate(obj, joint_tail=4)
+
+    def test_elimination_order_hurts_steps(self):
+        # Eliminating a middle variable first inflates the joint tables.
+        sizes = [4, 4, 4, 4, 4]
+        obj = small_banded(7, sizes)
+        natural = eliminate(obj)
+        bad = eliminate(obj, order=("V3", "V1", "V2", "V4", "V5"))
+        assert np.isclose(natural.optimum, bad.optimum)
+        assert bad.total_steps > natural.total_steps
+
+    def test_max_table_size_reported(self):
+        sizes = [3, 4, 5]
+        obj = small_banded(0, sizes)
+        res = eliminate(obj)
+        assert res.max_table_size == 3 * 4 * 5
+
+    @given(
+        sizes=st.lists(st.integers(min_value=2, max_value=4), min_size=3, max_size=5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_elimination_optimal(self, sizes, seed):
+        obj = small_banded(seed, sizes)
+        res = eliminate(obj)
+        ref, _ = brute_force_minimum(obj)
+        assert np.isclose(res.optimum, ref)
+        assert np.isclose(obj.evaluate(res.assignment), res.optimum)
+        assert res.total_steps == eq40_step_count(sizes)
+
+
+class TestNonBandedObjectives:
+    def papers_example(self, rng):
+        # min {g1(X1,X2,X4) + g2(X3,X4) + g3(X2,X5)} — Section 2.2.
+        domains = {f"X{i}": np.arange(2.0) for i in range(1, 6)}
+        t1 = rng.uniform(0, 9, (2, 2, 2))
+        t2 = rng.uniform(0, 9, (2, 2))
+        t3 = rng.uniform(0, 9, (2, 2))
+        return NonserialObjective(
+            domains=domains,
+            terms=(
+                (("X1", "X2", "X4"), lambda a, b, c: t1[a.astype(int), b.astype(int), c.astype(int)]),
+                (("X3", "X4"), lambda a, b: t2[a.astype(int), b.astype(int)]),
+                (("X2", "X5"), lambda a, b: t3[a.astype(int), b.astype(int)]),
+            ),
+        )
+
+    def test_papers_nonserial_example(self, rng):
+        obj = self.papers_example(rng)
+        res = eliminate(obj)
+        ref, _ = brute_force_minimum(obj)
+        assert np.isclose(res.optimum, ref)
+        assert np.isclose(obj.evaluate(res.assignment), res.optimum)
+
+    def test_min_degree_order_works(self, rng):
+        obj = self.papers_example(rng)
+        order = obj.interaction_graph().min_degree_order()
+        res = eliminate(obj, order=order, joint_tail=1)
+        ref, _ = brute_force_minimum(obj)
+        assert np.isclose(res.optimum, ref)
+
+
+class TestGroupingTransform:
+    def test_equivalence_with_elimination(self):
+        for seed in range(3):
+            obj = small_banded(seed, [3, 2, 3, 2])
+            graph, _states = group_variables_to_serial(obj)
+            serial = solve_backward(graph)
+            direct = eliminate(obj)
+            assert np.isclose(serial.optimum, direct.optimum)
+
+    def test_composite_state_sizes(self, rng):
+        obj = banded_objective(rng, [2, 3, 4])
+        graph, states = group_variables_to_serial(obj)
+        assert graph.stage_sizes == (2 * 3, 3 * 4)
+        assert len(states[0]) == 6
+        assert len(states[1]) == 12
+
+    def test_inconsistent_composites_blocked(self, rng):
+        # Edges between composites that disagree on the shared variable
+        # must carry the semiring zero (no path through them).
+        obj = banded_objective(rng, [2, 2, 2])
+        graph, states = group_variables_to_serial(obj)
+        for a, row in enumerate(states[0]):
+            for b, col in enumerate(states[1]):
+                if row[1] != col[0]:
+                    assert np.isinf(graph.costs[0][a, b])
+                else:
+                    assert np.isfinite(graph.costs[0][a, b])
+
+    def test_serial_path_decodes_to_assignment(self, rng):
+        obj = banded_objective(rng, [3, 2, 3, 2])
+        graph, states = group_variables_to_serial(obj)
+        sol = solve_backward(graph)
+        # Decode composite path back to original variable indices.
+        assign = {}
+        for stage, node in enumerate(sol.path.nodes):
+            a, b = states[stage][node]
+            assign[f"V{stage + 1}"] = a
+            assign[f"V{stage + 2}"] = b
+        assert np.isclose(obj.evaluate(assign), sol.optimum)
+
+    def test_rejects_non_banded(self, rng):
+        domains = {"a": np.arange(2.0), "b": np.arange(2.0)}
+        obj = NonserialObjective(
+            domains=domains, terms=((("a", "b"), lambda x, y: x + y),)
+        )
+        with pytest.raises(ValueError):
+            group_variables_to_serial(obj)

@@ -1,0 +1,80 @@
+"""Unit tests for the polyadic divide-and-conquer solver (eq. 3/15)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_backward, solve_polyadic, stage_cost_matrix
+from repro.dp.polyadic import MultiplyNode, _build_tree
+from repro.graphs import random_multistage, uniform_multistage
+from repro.semiring import MIN_PLUS, chain_product
+
+
+class TestStageCostMatrix:
+    def test_adjacent_stages_are_raw_costs(self, rng):
+        g = uniform_multistage(rng, 5, 3)
+        assert np.array_equal(stage_cost_matrix(g, 1, 2), g.costs[1])
+
+    def test_full_span_matches_chain_product(self, rng):
+        g = uniform_multistage(rng, 6, 3)
+        full = stage_cost_matrix(g, 0, 5)
+        assert np.allclose(full, chain_product(MIN_PLUS, g.as_matrices()))
+
+    def test_eq15_split_identity(self, rng):
+        # f3(Vi, Vj) == f3(Vi, Vk) · f3(Vk, Vj) for any intermediate k.
+        from repro.semiring import matmul
+
+        g = uniform_multistage(rng, 7, 3)
+        whole = stage_cost_matrix(g, 1, 5)
+        for k in (2, 3, 4):
+            split = matmul(MIN_PLUS, stage_cost_matrix(g, 1, k), stage_cost_matrix(g, k, 5))
+            assert np.allclose(whole, split)
+
+    def test_invalid_span_rejected(self, rng):
+        g = uniform_multistage(rng, 4, 2)
+        with pytest.raises(ValueError):
+            stage_cost_matrix(g, 2, 2)
+        with pytest.raises(ValueError):
+            stage_cost_matrix(g, 3, 1)
+        with pytest.raises(ValueError):
+            stage_cost_matrix(g, 0, 9)
+
+
+class TestSolvePolyadic:
+    def test_agrees_with_monadic(self, rng):
+        for _ in range(5):
+            g = random_multistage(rng, [2, 4, 4, 3, 2])
+            assert np.isclose(
+                solve_polyadic(g).optimum, solve_backward(g).optimum
+            )
+
+    def test_multiplication_count(self, rng):
+        g = uniform_multistage(rng, 9, 2)  # 8 layers
+        sol = solve_polyadic(g)
+        assert sol.num_multiplications == 8 - 1
+
+    def test_cost_matrix_shape(self, rng):
+        g = random_multistage(rng, [2, 3, 3, 4])
+        sol = solve_polyadic(g)
+        assert sol.cost_matrix.shape == (2, 4)
+
+
+class TestMultiplyTree:
+    def test_balanced_height(self):
+        tree = _build_tree(0, 8)
+        assert tree.depth == 3  # log2(8)
+
+    def test_uneven_height(self):
+        tree = _build_tree(0, 5)
+        assert tree.depth == 3  # ceil(log2(5))
+
+    def test_leaf_properties(self):
+        leaf = MultiplyNode(lo=2, hi=3)
+        assert leaf.is_leaf
+        assert leaf.depth == 0
+        assert leaf.count_internal() == 0
+
+    def test_internal_count_is_layers_minus_one(self):
+        for n in (1, 2, 3, 7, 16):
+            assert _build_tree(0, n).count_internal() == n - 1

@@ -1,0 +1,97 @@
+"""Unit tests for the secondary optimization problem (stage-reduction order)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import (
+    execute_reduction,
+    optimal_reduction_order,
+    reduction_cost,
+    solve_backward,
+    ternary_reduction_cost,
+)
+from repro.graphs import random_multistage
+from repro.semiring import MIN_PLUS, chain_product
+
+
+class TestOptimalOrder:
+    def test_plan_fields(self, rng):
+        g = random_multistage(rng, [2, 9, 2, 9, 2])
+        plan = optimal_reduction_order(g)
+        assert plan.stage_sizes == (2, 9, 2, 9, 2)
+        assert plan.optimal_comparisons <= plan.naive_comparisons
+        assert plan.savings >= 1.0
+
+    def test_skewed_sizes_yield_big_savings(self, rng):
+        g = random_multistage(rng, [100, 2, 100, 2, 100])
+        plan = optimal_reduction_order(g)
+        assert plan.savings > 2.5
+
+    def test_uniform_sizes_indifferent(self, rng):
+        g = random_multistage(rng, [4, 4, 4, 4])
+        plan = optimal_reduction_order(g)
+        # All orders cost the same for uniform m.
+        assert plan.optimal_comparisons == plan.naive_comparisons
+
+    def test_optimal_cost_matches_reduction_cost(self, rng):
+        g = random_multistage(rng, [3, 7, 2, 8, 4])
+        plan = optimal_reduction_order(g)
+        assert plan.optimal_comparisons == reduction_cost(
+            g.stage_sizes, plan.order.expression
+        )
+
+
+class TestExecuteReduction:
+    def test_result_is_order_invariant(self, rng):
+        g = random_multistage(rng, [2, 5, 3, 6, 2])
+        plan = optimal_reduction_order(g)
+        via_optimal = execute_reduction(g, plan.order.expression)
+        naive: int | tuple = 1
+        for i in range(2, g.num_layers + 1):
+            naive = (naive, i)
+        via_naive = execute_reduction(g, naive)
+        assert np.allclose(via_optimal, via_naive)
+        assert np.allclose(via_optimal, chain_product(MIN_PLUS, g.as_matrices()))
+
+    def test_reduction_agrees_with_dp_optimum(self, rng):
+        g = random_multistage(rng, [2, 4, 3, 5, 2])
+        plan = optimal_reduction_order(g)
+        reduced = execute_reduction(g, plan.order.expression)
+        assert np.isclose(reduced.min(), solve_backward(g).optimum)
+
+    def test_partial_expression_rejected(self, rng):
+        g = random_multistage(rng, [2, 3, 4, 2])
+        with pytest.raises(ValueError, match="whole graph"):
+            execute_reduction(g, (1, 2))
+
+    def test_noncontiguous_rejected(self, rng):
+        g = random_multistage(rng, [2, 3, 4, 2])
+        with pytest.raises(ValueError, match="non-contiguous"):
+            execute_reduction(g, ((1, 3), 2))
+
+
+class TestTernaryArgument:
+    def test_binary_never_loses(self, rng):
+        for _ in range(100):
+            ms = rng.integers(2, 12, size=4)
+            ternary, binary = ternary_reduction_cost(*ms)
+            assert binary <= ternary
+
+    def test_can_tie_at_two(self):
+        # m_i = 2 everywhere: 16 vs min(2*2*4, 2*2*4) = 16.
+        ternary, binary = ternary_reduction_cost(2, 2, 2, 2)
+        assert ternary == binary == 16
+
+    def test_size_one_can_favor_ternary(self):
+        # The paper's bound assumes m_i >= 2; with degenerate size-1
+        # stages the binary route can cost more.
+        ternary, binary = ternary_reduction_cost(1, 5, 1, 5)
+        assert ternary == 25
+        assert binary == 10  # still wins here
+        assert ternary_reduction_cost(5, 1, 5, 1)[1] <= 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ternary_reduction_cost(0, 1, 1, 1)

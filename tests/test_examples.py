@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example must run clean end-to-end.
+
+The examples assert their own cross-validation internally, so a passing
+run is a real integration check, not just an import check.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example reports something
+
+
+def test_all_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "traffic_control",
+        "matrix_chain_ordering",
+        "resource_allocation",
+        "granularity_study",
+        "inventory_control",
+        "optimal_search_tree",
+    } <= names

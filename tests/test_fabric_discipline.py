@@ -1,0 +1,120 @@
+"""Failure-injection tests: the fabric must catch wiring mistakes.
+
+The two classic systolic-simulator bugs are same-tick forwarding and
+double-driven nets.  The first is structurally impossible (reads always
+return pre-tick state); the second raises.  These tests build small
+deliberately-broken arrays and assert the discipline holds under
+composition, not just on a lone register.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systolic import ProcessingElement, Register, SystolicError
+
+
+class TestSameTickIsolation:
+    def test_neighbour_reads_previous_tick_value(self):
+        # A two-PE shift chain: PE1 must see PE0's *old* value even when
+        # PE0 wrote first within the same tick.
+        p0, p1 = ProcessingElement(0), ProcessingElement(1)
+        r0, r1 = p0.reg("R", "old"), p1.reg("R", None)
+        r0.set("new")
+        r1.set(r0.value)  # the wire from PE0 to PE1
+        p0.end_tick()
+        p1.end_tick()
+        assert r1.value == "old"  # previous-tick data moved, not same-tick
+        assert r0.value == "new"
+
+    def test_chain_moves_one_hop_per_tick(self):
+        pes = [ProcessingElement(i) for i in range(4)]
+        regs = [pe.reg("R", None) for pe in pes]
+        regs[0].set("token")
+        for pe in pes:
+            pe.end_tick()
+        for tick in range(1, 4):
+            for i in range(3, 0, -1):
+                regs[i].set(regs[i - 1].value)
+            regs[0].set(None)
+            for pe in pes:
+                pe.end_tick()
+            assert regs[tick].value == "token"
+            assert all(
+                regs[j].value != "token" for j in range(4) if j != tick
+            )
+
+    def test_write_order_within_tick_is_irrelevant(self):
+        # Forward and reverse PE iteration must produce identical state.
+        def run(order):
+            pes = [ProcessingElement(i) for i in range(3)]
+            regs = [pe.reg("R", i * 10) for i, pe in enumerate(pes)]
+            for i in order:
+                if i > 0:
+                    regs[i].set(regs[i - 1].value)
+            for pe in pes:
+                pe.end_tick()
+            return [r.value for r in regs]
+
+        assert run([1, 2]) == run([2, 1])
+
+
+class TestDoubleDriveDetection:
+    def test_two_drivers_same_tick(self):
+        pe = ProcessingElement(0)
+        r = pe.reg("BUS")
+        r.set(1)
+        with pytest.raises(SystolicError, match="driven twice"):
+            r.set(2)
+
+    def test_error_names_the_net(self):
+        pe = ProcessingElement(7)
+        r = pe.reg("H")
+        r.set(0)
+        with pytest.raises(SystolicError, match="P7.H"):
+            r.set(1)
+
+    def test_recovers_after_latch(self):
+        r = Register("wire")
+        r.set(1)
+        r.latch()
+        r.set(2)  # legal: new tick
+        r.latch()
+        assert r.value == 2
+
+
+class TestAccountingInvariants:
+    def test_op_count_independent_of_busy_ticks(self):
+        pe = ProcessingElement(0)
+        pe.count_op(5)
+        pe.end_tick()
+        pe.end_tick()  # idle tick
+        pe.count_op()
+        pe.end_tick()
+        assert pe.op_count == 6
+        assert pe.busy_ticks == 2
+
+    def test_shipped_arrays_have_consistent_accounting(self, rng):
+        # Busy ticks can never exceed wall ticks; ops bound busy ticks.
+        from repro.graphs import single_source_sink, traffic_light_problem
+        from repro.systolic import (
+            FeedbackSystolicArray,
+            MeshMatrixMultiplier,
+            PipelinedMatrixStringArray,
+        )
+
+        reports = [
+            PipelinedMatrixStringArray().run_graph(
+                single_source_sink(rng, 3, 4)
+            ).report,
+            FeedbackSystolicArray().run(traffic_light_problem(rng, 5, 4)).report,
+            MeshMatrixMultiplier().run(
+                rng.uniform(0, 9, (4, 4)), rng.uniform(0, 9, (4, 4))
+            ).report,
+        ]
+        for rep in reports:
+            assert all(b <= rep.wall_ticks for b in rep.pe_busy_ticks), rep.design
+            assert all(
+                ops >= busy for ops, busy in zip(rep.pe_op_counts, rep.pe_busy_ticks)
+            ), rep.design
+            assert 0.0 < rep.busy_fraction <= 1.0

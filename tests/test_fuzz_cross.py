@@ -1,0 +1,119 @@
+"""Cross-solver fuzz suite: every route must agree on random instances.
+
+Heavier randomized integration checks than the per-module property
+tests: instances are drawn with varied shapes, sparsity and semirings,
+and pushed through every applicable solver pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnc import simulate_chain_product
+from repro.dp import solve_backward, solve_forward, solve_polyadic
+from repro.graphs import MultistageGraph, random_multistage
+from repro.search import branch_and_bound
+from repro.semiring import MAX_PLUS, MIN_PLUS, chain_product
+from repro.systolic import (
+    BroadcastMatrixStringArray,
+    FeedbackSystolicArray,
+    PipelinedMatrixStringArray,
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_stages=st.integers(min_value=2, max_value=7),
+    sizes=st.lists(st.integers(min_value=1, max_value=5), min_size=2, max_size=7),
+)
+@settings(max_examples=40, deadline=None)
+def test_fuzz_monadic_polyadic_bnb_agree(seed, n_stages, sizes):
+    rng = np.random.default_rng(seed)
+    g = random_multistage(rng, sizes)
+    back = solve_backward(g).optimum
+    fwd = solve_forward(g).optimum
+    poly = solve_polyadic(g).optimum
+    bnb = branch_and_bound(g).optimum
+    assert np.isclose(back, fwd)
+    assert np.isclose(back, poly)
+    assert np.isclose(back, bnb)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_layers=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=4),
+    prob=st.floats(min_value=0.4, max_value=1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_fuzz_sparse_graphs_through_arrays(seed, n_layers, m, prob):
+    rng = np.random.default_rng(seed)
+    sizes = [1] + [m] * (n_layers - 1) + [1]
+    g = random_multistage(rng, sizes, edge_probability=prob)
+    ref = solve_backward(g).optimum
+    pipe = float(np.asarray(PipelinedMatrixStringArray().run_graph(g).value).squeeze())
+    bcast = float(np.asarray(BroadcastMatrixStringArray().run_graph(g).value).squeeze())
+    assert np.isclose(pipe, ref, equal_nan=True) or (np.isinf(pipe) and np.isinf(ref))
+    assert np.isclose(bcast, ref, equal_nan=True) or (np.isinf(bcast) and np.isinf(ref))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=2, max_value=12),
+    k=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_fuzz_scheduled_products_exact(seed, n, k):
+    rng = np.random.default_rng(seed)
+    mats = [rng.uniform(0, 9, (3, 3)) for _ in range(n)]
+    ref = chain_product(MIN_PLUS, mats)
+    for policy in ("leftmost", "balanced"):
+        res = simulate_chain_product(n, k, policy=policy, matrices=mats)
+        assert np.allclose(res.product, ref)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_stages=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_fuzz_feedback_array_with_awkward_costs(seed, n_stages, m):
+    # Cost functions with negatives and plateaus (ties) — the argmin
+    # bookkeeping must still trace a path that re-costs to the optimum.
+    rng = np.random.default_rng(seed)
+    values = tuple(rng.uniform(-5, 5, m) for _ in range(n_stages))
+    from repro.graphs import NodeValueProblem
+
+    p = NodeValueProblem(
+        values=values,
+        edge_cost=lambda a, b: np.round(np.abs(a - b), 1) - 2.0,
+    )
+    res = FeedbackSystolicArray().run(p)
+    from repro.dp import solve_node_value
+
+    ref = solve_node_value(p)
+    assert np.isclose(res.optimum, ref.optimum)
+    assert np.isclose(p.to_graph().path_cost(res.path.nodes), res.optimum)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_layers=st.integers(min_value=1, max_value=5),
+    m=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_fuzz_max_plus_duality_everywhere(seed, n_layers, m):
+    rng = np.random.default_rng(seed)
+    costs = tuple(rng.uniform(0, 9, (m, m)) for _ in range(n_layers))
+    g_max = MultistageGraph(costs=costs, semiring=MAX_PLUS)
+    g_neg = MultistageGraph(costs=tuple(-c for c in costs), semiring=MIN_PLUS)
+    assert np.isclose(
+        solve_backward(g_max).optimum, -solve_backward(g_neg).optimum
+    )
+    assert np.isclose(
+        solve_polyadic(g_max).optimum, -solve_polyadic(g_neg).optimum
+    )

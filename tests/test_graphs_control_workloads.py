@@ -1,0 +1,89 @@
+"""Unit tests for the sequential-control workloads (paper Section 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_node_value
+from repro.graphs import (
+    GraphError,
+    gain_schedule_problem,
+    inventory_problem,
+    production_problem,
+)
+from repro.systolic import FeedbackSystolicArray
+
+
+class TestInventory:
+    def test_shapes(self, rng):
+        p = inventory_problem(rng, 6, 5)
+        assert p.num_stages == 6
+        assert p.stage_sizes == (6,) * 6  # stock levels 0..5
+
+    def test_shortage_penalized(self, rng):
+        p = inventory_problem(rng, 4, 8, shortage=50.0)
+        # Dropping stock by far more than mean demand implies negative
+        # ordering: must cost more than a feasible transition.
+        feasible = float(p.edge_cost(np.asarray(2.0), np.asarray(3.0)))
+        infeasible = float(p.edge_cost(np.asarray(8.0), np.asarray(0.0)))
+        assert infeasible > feasible
+
+    def test_holding_cost_grows_with_stock(self, rng):
+        p = inventory_problem(rng, 4, 8, holding=5.0)
+        lo = float(p.edge_cost(np.asarray(4.0), np.asarray(4.0)))
+        hi = float(p.edge_cost(np.asarray(4.0), np.asarray(8.0)))
+        assert hi > lo
+
+    def test_validation(self, rng):
+        with pytest.raises(GraphError):
+            inventory_problem(rng, 1, 5)
+
+
+class TestProduction:
+    def test_changeover_quadratic(self, rng):
+        p = production_problem(rng, 4, 5, changeover=3.0)
+        small = float(p.edge_cost(np.asarray(5.0), np.asarray(5.5)))
+        big = float(p.edge_cost(np.asarray(5.0), np.asarray(9.0)))
+        assert big > small
+
+    def test_validation(self, rng):
+        with pytest.raises(GraphError):
+            production_problem(rng, 4, 0)
+
+
+class TestGainSchedule:
+    def test_extreme_gains_cost_more(self, rng):
+        p = gain_schedule_problem(rng, 4, 5, process_noise=1.0, measurement_noise=1.0)
+        mid = float(p.edge_cost(np.asarray(0.5), np.asarray(0.5)))
+        hi = float(p.edge_cost(np.asarray(0.5), np.asarray(0.95)))
+        lo = float(p.edge_cost(np.asarray(0.5), np.asarray(0.05)))
+        assert mid < hi and mid < lo  # symmetric noise: balanced gain wins
+
+    def test_validation(self, rng):
+        with pytest.raises(GraphError):
+            gain_schedule_problem(rng, 1, 4)
+
+
+class TestEndToEnd:
+    def test_all_workloads_run_on_feedback_array(self, rng):
+        arr = FeedbackSystolicArray()
+        for p in (
+            inventory_problem(rng, 6, 4),
+            production_problem(rng, 6, 4),
+            gain_schedule_problem(rng, 6, 4),
+        ):
+            res = arr.run(p)
+            ref = solve_node_value(p)
+            assert np.isclose(res.optimum, ref.optimum)
+            assert np.isclose(p.to_graph().path_cost(res.path.nodes), res.optimum)
+
+    def test_workloads_match_brute_force(self, rng):
+        for p in (
+            inventory_problem(rng, 4, 3),
+            production_problem(rng, 4, 3),
+            gain_schedule_problem(rng, 4, 3),
+        ):
+            assert np.isclose(
+                solve_node_value(p).optimum, p.to_graph().brute_force_optimum()[0]
+            )

@@ -1,0 +1,133 @@
+"""Unit tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    circuit_design_problem,
+    fig1a_graph,
+    fig1b_problem,
+    fluid_flow_problem,
+    random_multistage,
+    scheduling_problem,
+    single_source_sink,
+    traffic_light_problem,
+    uniform_multistage,
+)
+
+
+class TestRandomMultistage:
+    def test_shapes(self, rng):
+        g = random_multistage(rng, [2, 5, 3, 4])
+        assert g.stage_sizes == (2, 5, 3, 4)
+
+    def test_reproducible(self):
+        a = random_multistage(np.random.default_rng(5), [3, 3, 3])
+        b = random_multistage(np.random.default_rng(5), [3, 3, 3])
+        for ca, cb in zip(a.costs, b.costs):
+            assert np.array_equal(ca, cb)
+
+    def test_cost_range(self, rng):
+        g = random_multistage(rng, [4, 4, 4], low=2.0, high=3.0)
+        for c in g.costs:
+            assert np.all(c >= 2.0) and np.all(c < 3.0)
+
+    def test_sparse_stays_connected(self, rng):
+        g = random_multistage(rng, [4, 4, 4, 4], edge_probability=0.3)
+        # Every non-final vertex keeps an out-edge, every non-first an in-edge.
+        for c in g.costs:
+            assert np.all(np.isfinite(c).any(axis=1))
+            assert np.all(np.isfinite(c).any(axis=0))
+        # And therefore a finite path exists.
+        assert np.isfinite(g.brute_force_optimum()[0])
+
+    def test_bad_probability_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_multistage(rng, [2, 2], edge_probability=0.0)
+
+    def test_too_few_stages_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_multistage(rng, [3])
+
+
+class TestShapedGenerators:
+    def test_uniform(self, rng):
+        g = uniform_multistage(rng, 5, 4)
+        assert g.stage_sizes == (4,) * 5
+
+    def test_single_source_sink(self, rng):
+        g = single_source_sink(rng, 3, 6)
+        assert g.stage_sizes == (1, 6, 6, 6, 1)
+        assert g.is_single_source_sink
+
+    def test_single_source_sink_needs_interior(self, rng):
+        with pytest.raises(GraphError):
+            single_source_sink(rng, 0, 4)
+
+    def test_fig1a_fixed_instance(self):
+        g = fig1a_graph()
+        assert g.stage_sizes == (1, 3, 3, 3, 1)
+        assert g.brute_force_optimum()[0] == 6.0  # known optimum
+
+    def test_fig1a_random_instance(self, rng):
+        g = fig1a_graph(rng)
+        assert g.stage_sizes == (1, 3, 3, 3, 1)
+        assert np.all(np.stack([c.ravel() for c in g.costs[1:3]]) >= 1)
+
+    def test_fig1b_fixed_instance(self):
+        p = fig1b_problem()
+        assert p.stage_sizes == (3, 3, 3, 3)
+
+
+class TestDomainWorkloads:
+    def test_traffic_costs_are_circular(self, rng):
+        p = traffic_light_problem(rng, 4, 5, cycle=60.0)
+        c = p.cost_matrix(0)
+        assert np.all(c >= 0.0)
+        assert np.all(c <= 30.0)  # circular distance is at most cycle/2
+
+    def test_traffic_validation(self, rng):
+        with pytest.raises(GraphError):
+            traffic_light_problem(rng, 1, 5)
+
+    def test_circuit_power_is_quadratic(self, rng):
+        p = circuit_design_problem(rng, 3, 4, conductance=2.0)
+        c = p.cost_matrix(0)
+        v1 = p.values[0][:, None]
+        v2 = p.values[1][None, :]
+        assert np.allclose(c, 2.0 * (v1 - v2) ** 2)
+
+    def test_circuit_validation(self, rng):
+        with pytest.raises(GraphError):
+            circuit_design_problem(rng, 2, 0)
+
+    def test_fluid_flow_prefers_downhill(self, rng):
+        p = fluid_flow_problem(rng, 3, 4)
+        # A positive gradient (downstream flow) must cost less than the
+        # same magnitude adverse gradient.
+        down = float(p.edge_cost(np.asarray(80.0), np.asarray(20.0)))
+        up = float(p.edge_cost(np.asarray(20.0), np.asarray(80.0)))
+        assert down < up
+
+    def test_scheduling_penalizes_overlap(self, rng):
+        p = scheduling_problem(rng, 3, 4, setup=2.0)
+        ok = float(p.edge_cost(np.asarray(0.0), np.asarray(10.0)))
+        clash = float(p.edge_cost(np.asarray(10.0), np.asarray(10.5)))
+        assert clash > ok + 50.0
+
+    def test_workloads_solvable_end_to_end(self, rng):
+        from repro.dp import solve_node_value
+
+        for p in (
+            traffic_light_problem(rng, 5, 3),
+            circuit_design_problem(rng, 5, 3),
+            fluid_flow_problem(rng, 5, 3),
+            scheduling_problem(rng, 5, 3),
+        ):
+            sol = solve_node_value(p)
+            assert np.isclose(
+                sol.optimum, p.to_graph().brute_force_optimum()[0]
+            )

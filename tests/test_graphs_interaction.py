@@ -1,0 +1,144 @@
+"""Unit tests for interaction graphs and the seriality test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import InteractionGraph, Term, chain_order, is_serial_objective
+
+
+def chain_terms(n: int) -> list[Term]:
+    return [Term((f"X{i}", f"X{i+1}")) for i in range(1, n)]
+
+
+class TestTerm:
+    def test_arity(self):
+        assert Term(("a", "b", "c")).arity == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Term(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Term(("a", "a"))
+
+
+class TestInteractionGraph:
+    def test_neighbors_and_degree(self):
+        g = InteractionGraph([Term(("a", "b")), Term(("b", "c"))])
+        assert g.neighbors("b") == {"a", "c"}
+        assert g.degree("a") == 1
+        assert g.num_edges() == 2
+
+    def test_higher_arity_term_forms_clique(self):
+        g = InteractionGraph([Term(("a", "b", "c"))])
+        assert g.num_edges() == 3
+        assert g.neighbors("a") == {"b", "c"}
+
+    def test_chain_detection(self):
+        assert InteractionGraph(chain_terms(5)).is_chain()
+
+    def test_star_is_not_chain(self):
+        g = InteractionGraph([Term(("hub", x)) for x in "abc"])
+        assert not g.is_chain()
+
+    def test_cycle_is_not_chain(self):
+        g = InteractionGraph(
+            [Term(("a", "b")), Term(("b", "c")), Term(("c", "a"))]
+        )
+        assert not g.is_chain()
+
+    def test_disconnected_path_plus_cycle_rejected(self):
+        # Degree profile can mimic a path; the walk must still reject it.
+        terms = [
+            Term(("p", "q")),  # isolated edge: two degree-1 vertices
+            Term(("a", "b")),
+            Term(("b", "c")),
+            Term(("c", "a")),  # 3-cycle: all degree 2
+        ]
+        assert not InteractionGraph(terms).is_chain()
+
+    def test_single_variable_is_chain(self):
+        assert InteractionGraph([Term(("solo",))]).is_chain()
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionGraph([])
+
+
+class TestEliminationWidth:
+    def test_chain_width_is_one(self):
+        g = InteractionGraph(chain_terms(6))
+        order = [f"X{i}" for i in range(1, 7)]
+        assert g.elimination_width(order) == 1
+
+    def test_banded_width_is_two(self):
+        terms = [Term((f"V{i}", f"V{i+1}", f"V{i+2}")) for i in range(1, 4)]
+        g = InteractionGraph(terms)
+        assert g.elimination_width([f"V{i}" for i in range(1, 6)]) == 2
+
+    def test_bad_order_hurts_chain(self):
+        # Eliminating the middle first moralizes its two neighbours.
+        g = InteractionGraph(chain_terms(5))
+        middle_first = ["X3", "X1", "X2", "X4", "X5"]
+        assert g.elimination_width(middle_first) >= 2
+
+    def test_min_degree_default(self):
+        g = InteractionGraph(chain_terms(8))
+        assert g.elimination_width() == 1  # min-degree finds the ends
+
+    def test_min_degree_order_is_permutation(self):
+        g = InteractionGraph(chain_terms(5))
+        order = g.min_degree_order()
+        assert sorted(order) == sorted(g.variables)
+
+    def test_incomplete_order_rejected(self):
+        g = InteractionGraph(chain_terms(3))
+        with pytest.raises(ValueError):
+            g.elimination_width(["X1"])
+
+    def test_duplicate_order_rejected(self):
+        g = InteractionGraph(chain_terms(3))
+        with pytest.raises(ValueError):
+            g.elimination_width(["X1", "X1", "X2"])
+
+
+class TestSeriality:
+    def test_chain_is_serial(self):
+        assert is_serial_objective(chain_terms(4))
+
+    def test_ternary_term_is_nonserial(self):
+        assert not is_serial_objective(
+            [Term(("a", "b", "c")), Term(("c", "d"))]
+        )
+
+    def test_branching_is_nonserial(self):
+        assert not is_serial_objective(
+            [Term(("a", "b")), Term(("b", "c")), Term(("b", "d"))]
+        )
+
+    def test_papers_nonserial_example(self):
+        # min {g1(X1,X2,X4) + g2(X3,X4) + g3(X2,X5)} from Section 2.2.
+        terms = [Term(("X1", "X2", "X4")), Term(("X3", "X4")), Term(("X2", "X5"))]
+        assert not is_serial_objective(terms)
+
+    def test_duplicate_edge_terms_nonserial(self):
+        # Two terms over the same pair: not a tiling of the chain.
+        assert not is_serial_objective([Term(("a", "b")), Term(("a", "b"))])
+
+    def test_chain_order_endpoints(self):
+        order = chain_order(chain_terms(5))
+        assert set(order) == {f"X{i}" for i in range(1, 6)}
+        assert order[0] in ("X1", "X5") and order[-1] in ("X1", "X5")
+        assert order[0] != order[-1]
+
+    def test_chain_order_adjacency(self):
+        order = chain_order(chain_terms(6))
+        edges = {frozenset(t.variables) for t in chain_terms(6)}
+        for a, b in zip(order, order[1:]):
+            assert frozenset((a, b)) in edges
+
+    def test_chain_order_rejects_nonserial(self):
+        with pytest.raises(ValueError):
+            chain_order([Term(("a", "b", "c"))])

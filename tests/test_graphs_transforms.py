@@ -1,0 +1,87 @@
+"""Unit tests for graph transforms and the curve-tracking workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_backward
+from repro.graphs import (
+    GraphError,
+    add_virtual_terminals,
+    curve_tracking_problem,
+    random_multistage,
+    uniform_multistage,
+)
+from repro.semiring import MAX_PLUS, MIN_PLUS, chain_product
+from repro.systolic import BroadcastMatrixStringArray, PipelinedMatrixStringArray
+
+
+class TestVirtualTerminals:
+    def test_shape(self, rng):
+        g = uniform_multistage(rng, 4, 3)
+        framed = add_virtual_terminals(g)
+        assert framed.stage_sizes == (1, 3, 3, 3, 3, 1)
+        assert framed.is_single_source_sink
+
+    def test_optimum_preserved(self, rng):
+        g = random_multistage(rng, [3, 4, 2])
+        framed = add_virtual_terminals(g)
+        full = chain_product(MIN_PLUS, g.as_matrices())
+        assert np.isclose(solve_backward(framed).optimum, full.min())
+
+    def test_max_plus_framing(self, rng):
+        from repro.graphs import MultistageGraph
+
+        costs = tuple(rng.uniform(0, 5, (3, 3)) for _ in range(2))
+        g = MultistageGraph(costs=costs, semiring=MAX_PLUS)
+        framed = add_virtual_terminals(g)
+        full = chain_product(MAX_PLUS, g.as_matrices())
+        assert np.isclose(solve_backward(framed).optimum, full.max())
+
+    def test_framed_uniform_graph_runs_on_arrays(self, rng):
+        g = uniform_multistage(rng, 5, 4)  # multi-source, multi-sink
+        framed = add_virtual_terminals(g)
+        ref = solve_backward(framed).optimum
+        pipe = PipelinedMatrixStringArray().run_graph(framed)
+        bcast = BroadcastMatrixStringArray().run_graph(framed)
+        assert np.isclose(float(pipe.value), ref)
+        assert np.isclose(float(bcast.value), ref)
+
+    def test_solver_uses_framing_for_uniform_multisink(self, rng):
+        from repro import solve
+
+        g = uniform_multistage(rng, 5, 4)
+        rep = solve(g)
+        assert rep.method == "fig3-pipelined-array"
+        assert np.isclose(rep.optimum, solve_backward(g).optimum)
+
+
+class TestCurveTracking:
+    def test_shape_and_cost_structure(self, rng):
+        g = curve_tracking_problem(rng, 6, 8)
+        assert g.stage_sizes == (8,) * 6
+        # Edge costs grow with bend distance for a fixed target column.
+        c = g.costs[0]
+        assert c[0, 7] > c[0, 1]
+
+    def test_dp_path_follows_bright_ridge(self):
+        # With strong contrast the optimal path's mean intensity gain
+        # must be near the ridge value; check the path is smooth too.
+        rng = np.random.default_rng(3)
+        g = curve_tracking_problem(rng, 12, 10, smoothness=0.8, noise=0.05)
+        sol = solve_backward(g)
+        jumps = [abs(a - b) for a, b in zip(sol.path.nodes, sol.path.nodes[1:])]
+        assert max(jumps) <= 2  # smoothness keeps the track contiguous
+
+    def test_framed_curve_runs_on_array(self, rng):
+        g = curve_tracking_problem(rng, 7, 5)
+        framed = add_virtual_terminals(g)
+        res = PipelinedMatrixStringArray().run_graph(framed)
+        assert np.isclose(float(res.value), solve_backward(framed).optimum)
+
+    def test_validation(self, rng):
+        with pytest.raises(GraphError):
+            curve_tracking_problem(rng, 1, 5)
+        with pytest.raises(GraphError):
+            curve_tracking_problem(rng, 5, 1)

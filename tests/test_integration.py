@@ -1,0 +1,129 @@
+"""Integration tests: the same instance through every solving route.
+
+The paper's central observation is that one DP problem admits many
+formulations (folded OR-tree, AND-tree, folded AND/OR-tree, AND/OR
+graph), each with its own architecture.  These tests push single
+instances through *all* routes and require bit-identical optima.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MatrixChainProblem, solve
+from repro.andor import bottom_up, fold_multistage, matrix_chain_andor, serialize, map_to_array, ao_star
+from repro.dnc import simulate_chain_product
+from repro.dp import (
+    solve_backward,
+    solve_forward,
+    solve_matrix_chain,
+    solve_node_value,
+    solve_polyadic,
+)
+from repro.graphs import single_source_sink, uniform_multistage
+from repro.semiring import MIN_PLUS, chain_product, chain_product_tree
+from repro.systolic import (
+    BroadcastMatrixStringArray,
+    BroadcastParenthesizer,
+    FeedbackSystolicArray,
+    PipelinedMatrixStringArray,
+    SystolicParenthesizer,
+)
+
+
+class TestEveryRouteAgreesOnMultistage:
+    def test_seven_routes_one_optimum(self, rng):
+        # Uniform 5-stage graph: every formulation must coincide.
+        g = uniform_multistage(rng, 5, 3)
+        optimum = g.brute_force_optimum()[0]
+        # 1-2: monadic sweeps.
+        assert np.isclose(solve_backward(g).optimum, optimum)
+        assert np.isclose(solve_forward(g).optimum, optimum)
+        # 3: polyadic divide-and-conquer.
+        assert np.isclose(solve_polyadic(g).optimum, optimum)
+        # 4: direct chain products (both association orders).
+        mats = g.as_matrices()
+        assert np.isclose(chain_product(MIN_PLUS, mats).min(), optimum)
+        assert np.isclose(chain_product_tree(MIN_PLUS, mats).min(), optimum)
+        # 5: K-array scheduled product.
+        sched = simulate_chain_product(len(mats), 2, matrices=mats)
+        assert np.isclose(sched.product.min(), optimum)
+        # 6: folded AND/OR tree (Fig. 7).
+        fm = fold_multistage(g, p=2)
+        vals = fm.graph.evaluate()
+        root_min = min(
+            vals[int(fm.root_or[u, v])] for u in range(3) for v in range(3)
+        )
+        assert np.isclose(root_min, optimum)
+        # 7: AO* top-down search of the same graph.
+        best_root = min(
+            (int(fm.root_or[u, v]) for u in range(3) for v in range(3)),
+            key=lambda nid: vals[nid],
+        )
+        assert np.isclose(ao_star(fm.graph, best_root).cost, optimum)
+
+    def test_systolic_arrays_agree_with_all(self, rng):
+        g = single_source_sink(rng, 4, 4)
+        optimum = solve_backward(g).optimum
+        assert np.isclose(
+            float(PipelinedMatrixStringArray().run_graph(g).value), optimum
+        )
+        assert np.isclose(
+            float(BroadcastMatrixStringArray().run_graph(g).value), optimum
+        )
+
+
+class TestEveryRouteAgreesOnMatrixChain:
+    def test_five_routes_one_cost(self, rng):
+        dims = list(rng.integers(1, 40, size=8))
+        ref = solve_matrix_chain(dims).cost
+        assert BroadcastParenthesizer().run(dims).order.cost == ref
+        assert SystolicParenthesizer().run(dims).order.cost == ref
+        mc = matrix_chain_andor(dims)
+        assert bottom_up(mc.graph).values[mc.root] == ref
+        assert ao_star(mc.graph, mc.root).cost == ref
+        ser = serialize(mc.graph)
+        assert map_to_array(ser.graph).values[ser.node_map[mc.root]] == ref
+
+
+class TestNodeValueRoutes:
+    def test_feedback_array_vs_materialized_graph_routes(self, rng):
+        from repro.graphs import circuit_design_problem
+
+        p = circuit_design_problem(rng, 5, 3)
+        optimum = solve_node_value(p).optimum
+        fb = FeedbackSystolicArray().run(p)
+        assert np.isclose(fb.optimum, optimum)
+        g = p.to_graph()
+        assert np.isclose(solve_polyadic(g).optimum, optimum)
+        assert np.isclose(g.brute_force_optimum()[0], optimum)
+
+
+class TestDispatchEndToEnd:
+    def test_dispatcher_covers_all_four_classes(self, rng):
+        from repro.dp import banded_objective
+        from repro.graphs import traffic_light_problem
+
+        reports = [
+            solve(traffic_light_problem(rng, 5, 4)),  # monadic-serial
+            solve(uniform_multistage(rng, 40, 3)),  # polyadic-serial
+            solve(banded_objective(rng, [3, 2, 3])),  # monadic-nonserial
+            solve(MatrixChainProblem((5, 10, 3, 12, 5))),  # polyadic-nonserial
+        ]
+        classes = {r.dp_class for r in reports}
+        assert len(classes) == 4
+        assert all(r.validated for r in reports)
+
+
+class TestCrossSemiringConsistency:
+    def test_longest_path_via_negated_shortest(self, rng):
+        from repro.graphs import MultistageGraph
+        from repro.semiring import MAX_PLUS
+
+        costs = tuple(rng.uniform(0, 5, (3, 3)) for _ in range(3))
+        g_max = MultistageGraph(costs=costs, semiring=MAX_PLUS)
+        g_min_neg = MultistageGraph(costs=tuple(-c for c in costs))
+        assert np.isclose(
+            solve_backward(g_max).optimum, -solve_backward(g_min_neg).optimum
+        )

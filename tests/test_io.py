@@ -1,0 +1,92 @@
+"""Unit tests for problem/result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_backward
+from repro.graphs import MultistageGraph, fig1a_graph, random_multistage
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    path_from_dict,
+    path_to_dict,
+    report_to_dict,
+    save_graph,
+)
+from repro.semiring import MAX_PLUS
+from repro.systolic import PipelinedMatrixStringArray
+
+
+class TestNpzRoundTrip:
+    def test_costs_and_semiring_preserved(self, rng, tmp_path):
+        g = random_multistage(rng, [2, 4, 3, 2])
+        f = tmp_path / "g.npz"
+        save_graph(f, g)
+        back = load_graph(f)
+        assert back.semiring.name == g.semiring.name
+        assert back.stage_sizes == g.stage_sizes
+        for a, b in zip(g.costs, back.costs):
+            assert np.array_equal(a, b)
+
+    def test_optimum_survives_roundtrip(self, rng, tmp_path):
+        g = random_multistage(rng, [3, 3, 3], edge_probability=0.7)
+        f = tmp_path / "g.npz"
+        save_graph(f, g)
+        assert np.isclose(
+            solve_backward(load_graph(f)).optimum, solve_backward(g).optimum,
+            equal_nan=True,
+        )
+
+    def test_max_plus_semiring_roundtrip(self, rng, tmp_path):
+        costs = tuple(rng.uniform(0, 5, (2, 2)) for _ in range(2))
+        g = MultistageGraph(costs=costs, semiring=MAX_PLUS)
+        f = tmp_path / "g.npz"
+        save_graph(f, g)
+        assert load_graph(f).semiring.name == "max-plus"
+
+    def test_empty_archive_rejected(self, tmp_path):
+        f = tmp_path / "bad.npz"
+        np.savez(f, semiring=np.asarray("min-plus"))
+        with pytest.raises(ValueError, match="no layer"):
+            load_graph(f)
+
+
+class TestDictForms:
+    def test_graph_dict_roundtrip_is_json_safe(self, rng):
+        g = random_multistage(rng, [2, 3, 2])
+        d = graph_to_dict(g)
+        encoded = json.dumps(d)  # must not raise
+        back = graph_from_dict(json.loads(encoded))
+        for a, b in zip(g.costs, back.costs):
+            assert np.allclose(a, b)
+
+    def test_graph_dict_kind_checked(self):
+        with pytest.raises(ValueError, match="kind"):
+            graph_from_dict({"kind": "zebra"})
+
+    def test_path_roundtrip(self):
+        sol = solve_backward(fig1a_graph())
+        d = path_to_dict(sol.path)
+        json.dumps(d)
+        back = path_from_dict(d)
+        assert back == sol.path
+
+    def test_path_kind_checked(self):
+        with pytest.raises(ValueError):
+            path_from_dict({"kind": "nope"})
+
+    def test_report_dict_json_safe(self):
+        res = PipelinedMatrixStringArray().run_graph(fig1a_graph())
+        d = report_to_dict(res.report)
+        encoded = json.dumps(d)
+        decoded = json.loads(encoded)
+        assert decoded["design"] == "fig3-pipelined"
+        assert decoded["iterations"] == res.report.iterations
+        assert decoded["processor_utilization"] == pytest.approx(
+            res.report.processor_utilization
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for branch-and-bound with dominance (DP-as-B&B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp import solve_backward
+from repro.graphs import MultistageGraph, fig1a_graph, random_multistage, uniform_multistage
+from repro.search import branch_and_bound
+from repro.semiring import MAX_PLUS
+
+
+class TestCorrectness:
+    def test_fig1a(self):
+        res = branch_and_bound(fig1a_graph())
+        assert res.optimum == 6.0
+        assert np.isclose(fig1a_graph().path_cost(res.path.nodes), 6.0)
+
+    @pytest.mark.parametrize("dominance", [True, False])
+    @pytest.mark.parametrize("use_bound", [True, False])
+    def test_all_switch_combos_optimal(self, rng, dominance, use_bound):
+        g = uniform_multistage(rng, 5, 3)
+        res = branch_and_bound(g, dominance=dominance, use_bound=use_bound)
+        assert np.isclose(res.optimum, solve_backward(g).optimum)
+        assert np.isclose(g.path_cost(res.path.nodes), res.optimum)
+
+    def test_missing_edges_skipped(self, rng):
+        g = random_multistage(rng, [2, 3, 3, 2], edge_probability=0.5)
+        res = branch_and_bound(g)
+        assert np.isclose(res.optimum, solve_backward(g).optimum)
+
+    def test_disconnected_graph_rejected(self):
+        costs = (np.array([[np.inf]]), np.array([[np.inf]]))
+        g = MultistageGraph(costs=costs)
+        with pytest.raises(ValueError, match="no finite"):
+            branch_and_bound(g)
+
+    def test_max_plus_rejected(self, rng):
+        costs = tuple(rng.uniform(0, 1, (2, 2)) for _ in range(2))
+        g = MultistageGraph(costs=costs, semiring=MAX_PLUS)
+        with pytest.raises(ValueError, match="min-plus"):
+            branch_and_bound(g)
+
+
+class TestDominanceIsDP:
+    def test_dominance_collapses_expansion(self, rng):
+        # Without dominance the OR-tree is exponential; with it, the
+        # expansion count is bounded by the number of DP states.
+        g = uniform_multistage(rng, 7, 3)
+        full = branch_and_bound(g, dominance=False, use_bound=False)
+        dom = branch_and_bound(g, dominance=True, use_bound=False)
+        assert dom.nodes_expanded < full.nodes_expanded
+        n_states = sum(g.stage_sizes[:-1])
+        assert dom.nodes_expanded <= n_states
+
+    def test_exponential_without_dominance(self, rng):
+        # Every full path's prefix tree is expanded: m^(k) growth.
+        g = uniform_multistage(rng, 6, 2)
+        full = branch_and_bound(g, dominance=False, use_bound=False)
+        expected = sum(2**k for k in range(1, 6))  # nodes of the 2-ary tree
+        assert full.nodes_expanded == pytest.approx(expected, abs=2)
+
+    def test_bound_prunes_on_top_of_dominance(self, rng):
+        g = uniform_multistage(rng, 10, 5)
+        dom = branch_and_bound(g, dominance=True, use_bound=False)
+        both = branch_and_bound(g, dominance=True, use_bound=True)
+        assert both.nodes_expanded <= dom.nodes_expanded
+        assert np.isclose(both.optimum, dom.optimum)
+
+    def test_accounting_fields(self, rng):
+        g = uniform_multistage(rng, 6, 4)
+        res = branch_and_bound(g)
+        assert res.total_pruned == res.pruned_by_dominance + res.pruned_by_bound
+        assert res.nodes_generated >= res.nodes_expanded
+
+
+@given(
+    n_stages=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_bnb_equals_dp(n_stages, m, seed):
+    rng = np.random.default_rng(seed)
+    g = uniform_multistage(rng, n_stages, m)
+    res = branch_and_bound(g)
+    assert np.isclose(res.optimum, solve_backward(g).optimum)

@@ -1,0 +1,160 @@
+"""End-to-end semantics of each built-in semiring on path problems.
+
+The point of keeping the algebra first-class (paper §3.1) is that the
+*same* solvers compute different objectives under different semirings.
+These tests pin the semantics: bottleneck paths under min-max,
+reliability routing under max-times, reachability under boolean, and
+path counting under plus-times — each validated against a brute-force
+oracle on enumerable graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_backward, solve_forward
+from repro.graphs import MultistageGraph
+from repro.semiring import (
+    BOOLEAN,
+    MAX_TIMES,
+    MIN_MAX,
+    MIN_PLUS,
+    PLUS_TIMES,
+    chain_product,
+)
+
+
+def enumerate_paths(sizes):
+    return itertools.product(*[range(s) for s in sizes])
+
+
+class TestBottleneckPaths:
+    """min-max: minimize the worst edge along the path (capacity routing)."""
+
+    def make(self, rng, sizes):
+        costs = tuple(
+            rng.uniform(0, 100, (sizes[k], sizes[k + 1]))
+            for k in range(len(sizes) - 1)
+        )
+        return MultistageGraph(costs=costs, semiring=MIN_MAX)
+
+    def test_matches_brute_force(self, rng):
+        g = self.make(rng, [2, 3, 3, 2])
+        sol = solve_backward(g)
+        best = min(
+            max(g.costs[k][p[k], p[k + 1]] for k in range(3))
+            for p in enumerate_paths(g.stage_sizes)
+        )
+        assert np.isclose(sol.optimum, best)
+
+    def test_path_realizes_bottleneck(self, rng):
+        g = self.make(rng, [3, 4, 3])
+        sol = solve_backward(g)
+        worst_edge = max(
+            g.costs[k][sol.path.nodes[k], sol.path.nodes[k + 1]] for k in range(2)
+        )
+        assert np.isclose(worst_edge, sol.optimum)
+
+    def test_forward_backward_agree(self, rng):
+        g = self.make(rng, [2, 4, 4, 2])
+        assert np.isclose(solve_forward(g).optimum, solve_backward(g).optimum)
+
+
+class TestReliabilityRouting:
+    """max-times: maximize the product of per-edge success probabilities."""
+
+    def make(self, rng, sizes):
+        costs = tuple(
+            rng.uniform(0.1, 1.0, (sizes[k], sizes[k + 1]))
+            for k in range(len(sizes) - 1)
+        )
+        return MultistageGraph(costs=costs, semiring=MAX_TIMES)
+
+    def test_matches_brute_force(self, rng):
+        g = self.make(rng, [2, 3, 2])
+        sol = solve_backward(g)
+        best = max(
+            np.prod([g.costs[k][p[k], p[k + 1]] for k in range(2)])
+            for p in enumerate_paths(g.stage_sizes)
+        )
+        assert np.isclose(sol.optimum, best)
+
+    def test_reliability_in_unit_interval(self, rng):
+        g = self.make(rng, [3, 3, 3, 3])
+        sol = solve_backward(g)
+        assert 0.0 < sol.optimum <= 1.0
+
+    def test_log_transform_duality(self, rng):
+        # max-times == exp(max-plus of logs): the standard reduction.
+        g = self.make(rng, [2, 3, 3, 2])
+        from repro.semiring import MAX_PLUS
+
+        logs = tuple(np.log(c) for c in g.costs)
+        g_log = MultistageGraph(costs=logs, semiring=MAX_PLUS)
+        assert np.isclose(
+            solve_backward(g).optimum, np.exp(solve_backward(g_log).optimum)
+        )
+
+
+class TestReachability:
+    """boolean: does any path exist through present edges?"""
+
+    def test_connected(self):
+        costs = (np.array([[1.0, 0.0], [0.0, 1.0]]), np.array([[0.0], [1.0]]))
+        g = MultistageGraph(costs=costs, semiring=BOOLEAN)
+        assert solve_backward(g).optimum == 1.0
+
+    def test_disconnected(self):
+        costs = (np.array([[1.0, 0.0]]), np.array([[0.0], [1.0]]))
+        g = MultistageGraph(costs=costs, semiring=BOOLEAN)
+        # Only edge out of source reaches node 0, which has no sink edge.
+        assert solve_backward(g).optimum == 0.0
+
+    def test_matches_min_plus_finiteness(self, rng):
+        # boolean reachability == (min-plus optimum is finite).
+        from repro.graphs import random_multistage
+
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            g = random_multistage(r, [1, 3, 3, 1], edge_probability=0.4)
+            reach = MultistageGraph(
+                costs=tuple(np.isfinite(c).astype(float) for c in g.costs),
+                semiring=BOOLEAN,
+            )
+            finite = np.isfinite(solve_backward(g).optimum)
+            assert (chain_product(BOOLEAN, reach.as_matrices())[0, 0] == 1.0) == finite
+
+
+class TestPathCounting:
+    """plus-times over 0/1 matrices counts source->sink paths."""
+
+    def test_complete_layers(self):
+        sizes = [1, 3, 4, 1]
+        costs = tuple(
+            np.ones((sizes[k], sizes[k + 1])) for k in range(len(sizes) - 1)
+        )
+        count = chain_product(PLUS_TIMES, list(costs))[0, 0]
+        assert count == 3 * 4
+
+    def test_sparse_counts(self, rng):
+        sizes = [1, 3, 3, 1]
+        masks = [rng.random((sizes[k], sizes[k + 1])) < 0.6 for k in range(3)]
+        costs = [m.astype(float) for m in masks]
+        count = chain_product(PLUS_TIMES, costs)[0, 0]
+        brute = sum(
+            all(masks[k][p[k], p[k + 1]] for k in range(3))
+            for p in enumerate_paths(sizes)
+        )
+        assert count == brute
+
+
+class TestMinPlusIsTheDefaultStory:
+    def test_default_semiring_everywhere(self, rng):
+        from repro.graphs import uniform_multistage
+
+        g = uniform_multistage(rng, 4, 3)
+        assert g.semiring is MIN_PLUS
+        assert solve_backward(g).optimum <= solve_backward(g).stage_values[0].max()

@@ -1,0 +1,91 @@
+"""Unit tests for batched semiring operations (Section 3.2 vector elements)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.semiring import (
+    MIN_PLUS,
+    PLUS_TIMES,
+    SemiringError,
+    batched_chain_product,
+    batched_matmul,
+    chain_product,
+    matmul,
+)
+
+
+class TestBatchedMatmul:
+    def test_matches_per_slice_matmul(self, rng):
+        a = rng.uniform(0, 9, (5, 3, 4))
+        b = rng.uniform(0, 9, (5, 4, 2))
+        out = batched_matmul(MIN_PLUS, a, b)
+        assert out.shape == (5, 3, 4 and 2) == (5, 3, 2)
+        for i in range(5):
+            assert np.allclose(out[i], matmul(MIN_PLUS, a[i], b[i]))
+
+    def test_unbatched_degenerates_to_matmul(self, rng):
+        a = rng.uniform(0, 9, (3, 4))
+        b = rng.uniform(0, 9, (4, 5))
+        assert np.allclose(batched_matmul(MIN_PLUS, a, b), matmul(MIN_PLUS, a, b))
+
+    def test_batch_broadcasting(self, rng):
+        a = rng.uniform(0, 9, (4, 3, 3))  # batch of 4
+        b = rng.uniform(0, 9, (3, 3))  # shared operand
+        out = batched_matmul(MIN_PLUS, a, b)
+        for i in range(4):
+            assert np.allclose(out[i], matmul(MIN_PLUS, a[i], b))
+
+    def test_plus_times_matches_numpy(self, rng):
+        a = rng.uniform(-1, 1, (6, 2, 3))
+        b = rng.uniform(-1, 1, (6, 3, 4))
+        assert np.allclose(batched_matmul(PLUS_TIMES, a, b), a @ b)
+
+    def test_validation(self):
+        with pytest.raises(SemiringError):
+            batched_matmul(MIN_PLUS, np.zeros(3), np.zeros((3, 3)))
+        with pytest.raises(SemiringError, match="inner"):
+            batched_matmul(MIN_PLUS, np.zeros((2, 3, 4)), np.zeros((2, 3, 4)))
+
+
+class TestBatchedChain:
+    def test_matches_per_slice_chain(self, rng):
+        mats = [rng.uniform(0, 9, (4, 3, 3)) for _ in range(5)]
+        out = batched_chain_product(MIN_PLUS, mats)
+        for i in range(4):
+            ref = chain_product(MIN_PLUS, [m[i] for m in mats])
+            assert np.allclose(out[i], ref)
+
+    def test_quantized_value_elements(self, rng):
+        # The paper's Kalman/inventory remark: each "element" carries B
+        # quantized values; the batched product solves all B problem
+        # variants in one pass.
+        B = 8
+        layers = [rng.uniform(0, 9, (B, 1, 3)), rng.uniform(0, 9, (B, 3, 3)), rng.uniform(0, 9, (B, 3, 1))]
+        out = batched_chain_product(MIN_PLUS, layers)
+        assert out.shape == (B, 1, 1)
+        for i in range(B):
+            ref = chain_product(MIN_PLUS, [m[i] for m in layers])
+            assert np.isclose(out[i, 0, 0], ref[0, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SemiringError):
+            batched_chain_product(MIN_PLUS, [])
+
+
+finite = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+@given(
+    a=arrays(np.float64, (3, 2, 2), elements=finite),
+    b=arrays(np.float64, (3, 2, 2), elements=finite),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_batched_equals_slicewise(a, b):
+    out = batched_matmul(MIN_PLUS, a, b)
+    for i in range(3):
+        assert np.allclose(out[i], matmul(MIN_PLUS, a[i], b[i]))

@@ -1,0 +1,231 @@
+"""Unit tests for semiring matrix algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.semiring import (
+    BOOLEAN,
+    MAX_PLUS,
+    MIN_MAX,
+    MIN_PLUS,
+    PLUS_TIMES,
+    SemiringError,
+    chain_product,
+    chain_product_tree,
+    closure,
+    matmul,
+    matmul_with_arg,
+    matrix_power,
+    matvec,
+    vecmat,
+)
+
+
+def brute_minplus_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    n, k = a.shape
+    _, m = b.shape
+    out = np.full((n, m), np.inf)
+    for i in range(n):
+        for j in range(m):
+            for kk in range(k):
+                out[i, j] = min(out[i, j], a[i, kk] + b[kk, j])
+    return out
+
+
+class TestMatmul:
+    def test_against_brute_force(self, rng):
+        a = rng.uniform(0, 9, (4, 5))
+        b = rng.uniform(0, 9, (5, 3))
+        assert np.allclose(matmul(MIN_PLUS, a, b), brute_minplus_matmul(a, b))
+
+    def test_plus_times_matches_numpy(self, rng):
+        a = rng.uniform(-2, 2, (6, 4))
+        b = rng.uniform(-2, 2, (4, 7))
+        assert np.allclose(matmul(PLUS_TIMES, a, b), a @ b)
+
+    def test_blocking_matches_unblocked(self, rng):
+        a = rng.uniform(0, 5, (17, 9))
+        b = rng.uniform(0, 5, (9, 11))
+        full = matmul(MIN_PLUS, a, b)
+        blocked = matmul(MIN_PLUS, a, b, block_rows=3)
+        assert np.array_equal(full, blocked)
+
+    def test_missing_edges_propagate(self):
+        a = np.array([[np.inf, 1.0], [2.0, np.inf]])
+        b = np.array([[np.inf, 3.0], [4.0, np.inf]])
+        c = matmul(MIN_PLUS, a, b)
+        assert c[0, 0] == 5.0  # via a[0,1] + b[1,0]
+        assert np.isinf(c[0, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SemiringError, match="inner dimensions"):
+            matmul(MIN_PLUS, np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(SemiringError, match="2-D"):
+            matmul(MIN_PLUS, np.zeros(3), np.zeros((3, 3)))
+
+    def test_min_max_bottleneck(self):
+        # min-max: cheapest worst edge on a two-hop path.
+        a = np.array([[2.0, 9.0]])
+        b = np.array([[5.0], [1.0]])
+        c = matmul(MIN_MAX, a, b)
+        # paths: max(2,5)=5 or max(9,1)=9 -> min is 5
+        assert c[0, 0] == 5.0
+
+    def test_boolean_reachability(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = np.array([[0.0, 1.0], [1.0, 0.0]])
+        c = matmul(BOOLEAN, a, b)
+        assert np.array_equal(c, np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+
+class TestMatmulWithArg:
+    def test_values_match_matmul(self, rng):
+        a = rng.uniform(0, 9, (4, 6))
+        b = rng.uniform(0, 9, (6, 5))
+        val, arg = matmul_with_arg(MIN_PLUS, a, b)
+        assert np.allclose(val, matmul(MIN_PLUS, a, b))
+
+    def test_arg_identifies_winner(self, rng):
+        a = rng.uniform(0, 9, (3, 4))
+        b = rng.uniform(0, 9, (4, 3))
+        val, arg = matmul_with_arg(MIN_PLUS, a, b)
+        for i in range(3):
+            for j in range(3):
+                k = arg[i, j]
+                assert np.isclose(a[i, k] + b[k, j], val[i, j])
+
+    def test_rejects_semiring_without_argreduce(self):
+        with pytest.raises(SemiringError, match="arg-reduction"):
+            matmul_with_arg(PLUS_TIMES, np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestMatvecVecmat:
+    def test_matvec_matches_matmul(self, rng):
+        a = rng.uniform(0, 9, (4, 5))
+        x = rng.uniform(0, 9, 5)
+        assert np.allclose(matvec(MIN_PLUS, a, x), matmul(MIN_PLUS, a, x[:, None])[:, 0])
+
+    def test_vecmat_matches_matmul(self, rng):
+        a = rng.uniform(0, 9, (4, 5))
+        x = rng.uniform(0, 9, 4)
+        assert np.allclose(vecmat(MIN_PLUS, x, a), matmul(MIN_PLUS, x[None, :], a)[0])
+
+    def test_matvec_shape_errors(self):
+        with pytest.raises(SemiringError):
+            matvec(MIN_PLUS, np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(SemiringError):
+            matvec(MIN_PLUS, np.zeros((2, 3)), np.zeros((3, 1)))
+
+    def test_vecmat_shape_errors(self):
+        with pytest.raises(SemiringError):
+            vecmat(MIN_PLUS, np.zeros(3), np.zeros((2, 3)))
+
+
+class TestChainProducts:
+    def test_left_and_tree_orders_agree(self, rng):
+        mats = [rng.uniform(0, 5, (3, 3)) for _ in range(9)]
+        assert np.allclose(
+            chain_product(MIN_PLUS, mats), chain_product_tree(MIN_PLUS, mats)
+        )
+
+    def test_rectangular_chain(self, rng):
+        shapes = [(2, 4), (4, 3), (3, 5), (5, 1)]
+        mats = [rng.uniform(0, 5, s) for s in shapes]
+        out = chain_product(MIN_PLUS, mats)
+        assert out.shape == (2, 1)
+        tree = chain_product_tree(MIN_PLUS, mats)
+        assert np.allclose(out, tree)
+
+    def test_single_matrix(self, rng):
+        m = rng.uniform(0, 5, (3, 3))
+        assert np.array_equal(chain_product(MIN_PLUS, [m]), m)
+        assert np.array_equal(chain_product_tree(MIN_PLUS, [m]), m)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SemiringError):
+            chain_product(MIN_PLUS, [])
+        with pytest.raises(SemiringError):
+            chain_product_tree(MIN_PLUS, [])
+
+    def test_odd_length_tree(self, rng):
+        mats = [rng.uniform(0, 5, (2, 2)) for _ in range(7)]
+        assert np.allclose(
+            chain_product(MIN_PLUS, mats), chain_product_tree(MIN_PLUS, mats)
+        )
+
+    def test_max_plus_chain(self, rng):
+        mats = [rng.uniform(0, 5, (3, 3)) for _ in range(4)]
+        left = chain_product(MAX_PLUS, mats)
+        tree = chain_product_tree(MAX_PLUS, mats)
+        assert np.allclose(left, tree)
+
+
+class TestMatrixPower:
+    def test_power_zero_is_identity(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(matrix_power(MIN_PLUS, a, 0), MIN_PLUS.eye(2))
+
+    def test_power_one(self, rng):
+        a = rng.uniform(0, 5, (3, 3))
+        assert np.allclose(matrix_power(MIN_PLUS, a, 1), a)
+
+    def test_power_matches_repeated_matmul(self, rng):
+        a = rng.uniform(0, 5, (4, 4))
+        expected = a
+        for _ in range(4):
+            expected = matmul(MIN_PLUS, expected, a)
+        assert np.allclose(matrix_power(MIN_PLUS, a, 5), expected)
+
+    def test_power_counts_exact_walk_lengths(self):
+        # Path graph 0->1->2: A^2 reaches 2 from 0; A^1 does not.
+        a = np.full((3, 3), np.inf)
+        a[0, 1] = 1.0
+        a[1, 2] = 1.0
+        assert np.isinf(matrix_power(MIN_PLUS, a, 1)[0, 2])
+        assert matrix_power(MIN_PLUS, a, 2)[0, 2] == 2.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(SemiringError):
+            matrix_power(MIN_PLUS, np.zeros((2, 2)), -1)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SemiringError):
+            matrix_power(MIN_PLUS, np.zeros((2, 3)), 2)
+
+
+class TestClosure:
+    def test_shortest_paths_unbounded_length(self):
+        # Cycle 0->1->2->0 with cheap long way around.
+        a = np.full((3, 3), np.inf)
+        a[0, 1] = 1.0
+        a[1, 2] = 1.0
+        a[2, 0] = 1.0
+        c = closure(MIN_PLUS, a)
+        assert c[0, 0] == 0.0  # reflexive
+        assert c[0, 2] == 2.0
+        assert c[2, 1] == 2.0
+
+    def test_closure_fixed_point(self, rng):
+        a = rng.uniform(1, 5, (4, 4))
+        c = closure(MIN_PLUS, a)
+        again = matmul(MIN_PLUS, c, c)
+        assert np.allclose(np.minimum(again, c), c)
+
+    def test_closure_rejects_non_idempotent(self):
+        with pytest.raises(SemiringError, match="idempotent"):
+            closure(PLUS_TIMES, np.zeros((2, 2)))
+
+    def test_closure_non_square_rejected(self):
+        with pytest.raises(SemiringError):
+            closure(MIN_PLUS, np.zeros((2, 3)))
+
+    def test_boolean_transitive_closure(self):
+        a = np.zeros((4, 4))
+        a[0, 1] = a[1, 2] = a[2, 3] = 1.0
+        c = closure(BOOLEAN, a)
+        assert c[0, 3] == 1.0
+        assert c[3, 0] == 0.0

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the semiring substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.semiring import (
+    MAX_PLUS,
+    MIN_PLUS,
+    PLUS_TIMES,
+    chain_product,
+    chain_product_tree,
+    closure,
+    matmul,
+    matrix_power,
+    matvec,
+)
+
+finite = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def square(n: int):
+    return arrays(np.float64, (n, n), elements=finite)
+
+
+@given(a=square(3), b=square(3), c=square(3))
+@settings(max_examples=50, deadline=None)
+def test_minplus_matmul_associative(a, b, c):
+    left = matmul(MIN_PLUS, matmul(MIN_PLUS, a, b), c)
+    right = matmul(MIN_PLUS, a, matmul(MIN_PLUS, b, c))
+    assert np.allclose(left, right)
+
+
+@given(a=square(4))
+@settings(max_examples=50, deadline=None)
+def test_minplus_identity_laws(a):
+    e = MIN_PLUS.eye(4)
+    assert np.allclose(matmul(MIN_PLUS, a, e), a)
+    assert np.allclose(matmul(MIN_PLUS, e, a), a)
+
+
+@given(a=square(3), b=square(3), c=square(3))
+@settings(max_examples=50, deadline=None)
+def test_minplus_distributes_over_elementwise_min(a, b, c):
+    # A(B ⊕ C) == AB ⊕ AC where ⊕ is elementwise min.
+    left = matmul(MIN_PLUS, a, np.minimum(b, c))
+    right = np.minimum(matmul(MIN_PLUS, a, b), matmul(MIN_PLUS, a, c))
+    assert np.allclose(left, right)
+
+
+@given(
+    mats=st.lists(square(2), min_size=1, max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_chain_orders_agree(mats):
+    assert np.allclose(
+        chain_product(MIN_PLUS, mats), chain_product_tree(MIN_PLUS, mats)
+    )
+
+
+@given(a=square(3), n=st.integers(min_value=0, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_power_additivity(a, n):
+    # A^n ⊗ A == A^(n+1)
+    assert np.allclose(
+        matmul(MIN_PLUS, matrix_power(MIN_PLUS, a, n), a),
+        matrix_power(MIN_PLUS, a, n + 1),
+    )
+
+
+@given(a=square(4))
+@settings(max_examples=40, deadline=None)
+def test_closure_dominates_all_powers(a):
+    # A* ⊕ A^k == A* for any k (closure covers all walk lengths).
+    c = closure(MIN_PLUS, a)
+    for k in range(4):
+        pk = matrix_power(MIN_PLUS, a, k)
+        assert np.allclose(np.minimum(c, pk), c)
+
+
+@given(a=square(3), x=arrays(np.float64, 3, elements=finite))
+@settings(max_examples=50, deadline=None)
+def test_matvec_lower_bound(a, x):
+    # Each y_i is achieved by some j and is <= every candidate.
+    y = matvec(MIN_PLUS, a, x)
+    cand = a + x[None, :]
+    assert np.allclose(y, cand.min(axis=1))
+
+
+@given(a=square(3), b=square(3))
+@settings(max_examples=40, deadline=None)
+def test_plus_times_matches_numpy(a, b):
+    assert np.allclose(matmul(PLUS_TIMES, a, b), a @ b, rtol=1e-9, atol=1e-9)
+
+
+@given(a=square(3), b=square(3))
+@settings(max_examples=40, deadline=None)
+def test_maxplus_is_minplus_negated(a, b):
+    # max-plus(a, b) == -min-plus(-a, -b): duality of the tropical pair.
+    neg = matmul(MIN_PLUS, -a, -b)
+    assert np.allclose(matmul(MAX_PLUS, a, b), -neg)

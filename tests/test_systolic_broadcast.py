@@ -1,0 +1,103 @@
+"""Unit tests for the Fig. 4 broadcast matrix-string array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp import solve_backward
+from repro.graphs import fig1a_graph, random_multistage, single_source_sink
+from repro.semiring import MIN_PLUS, chain_product
+from repro.systolic import BroadcastMatrixStringArray, PipelinedMatrixStringArray, SystolicError
+
+
+@pytest.fixture
+def array():
+    return BroadcastMatrixStringArray()
+
+
+class TestCorrectness:
+    def test_fig1a_example(self, array):
+        assert float(array.run_graph(fig1a_graph()).value) == 6.0
+
+    def test_matches_sequential(self, array, rng):
+        for n_inter in (1, 2, 3, 5):
+            g = single_source_sink(rng, n_inter, 4)
+            res = array.run_graph(g)
+            assert np.isclose(float(res.value), solve_backward(g).optimum)
+
+    def test_vector_result(self, array, rng):
+        g = random_multistage(rng, [5, 5, 5, 1])
+        res = array.run_graph(g)
+        ref = chain_product(MIN_PLUS, g.as_matrices())[:, 0]
+        assert np.allclose(np.asarray(res.value), ref)
+
+    def test_agrees_with_pipelined_design(self, rng):
+        # Functional equivalence of the two Section-3.2 designs.
+        pipe = PipelinedMatrixStringArray()
+        for _ in range(4):
+            g = single_source_sink(rng, 3, 4)
+            a = array_run = BroadcastMatrixStringArray().run_graph(g)
+            b = pipe.run_graph(g)
+            assert np.isclose(float(a.value), float(b.value))
+
+    def test_width_one(self, array, rng):
+        g = random_multistage(rng, [1, 1, 1])
+        res = array.run_graph(g)
+        assert np.isclose(float(np.asarray(res.value).squeeze()), solve_backward(g).optimum)
+
+
+class TestSchedule:
+    def test_iteration_count(self, array, rng):
+        for n_inter, m in [(2, 3), (4, 5)]:
+            g = single_source_sink(rng, n_inter, m)
+            res = array.run_graph(g)
+            assert res.report.iterations == (g.num_layers - 1) * m
+
+    def test_no_skew_in_wall_clock(self, array, rng):
+        # Broadcast delivers to all PEs at once: no fill/drain.
+        g = single_source_sink(rng, 3, 4)
+        res = array.run_graph(g)
+        assert res.report.wall_ticks == res.report.iterations
+
+    def test_broadcast_traffic_counted(self, array, rng):
+        g = single_source_sink(rng, 2, 3)
+        res = array.run_graph(g)
+        # One bus word per iteration.
+        assert res.report.broadcast_words == res.report.iterations
+
+    def test_same_pu_as_pipelined(self, rng):
+        # Eq. (9) covers both designs.
+        g = single_source_sink(rng, 4, 3)
+        a = BroadcastMatrixStringArray().run_graph(g).report
+        b = PipelinedMatrixStringArray().run_graph(g).report
+        assert a.processor_utilization == pytest.approx(b.processor_utilization)
+
+
+class TestValidation:
+    def test_operand_contract_shared_with_fig3(self, array):
+        with pytest.raises(SystolicError):
+            array.run([np.zeros((3, 3)), np.zeros((3, 3))])
+
+    def test_row_vector_must_be_leftmost(self, array):
+        # A 1xm operand in the interior trips shape validation.
+        with pytest.raises(SystolicError, match="leftmost|interior"):
+            array.run([np.zeros((3, 3)), np.zeros((1, 3)), np.zeros(3)])
+
+
+@given(
+    n_layers=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_always_matches_sequential(n_layers, m, seed):
+    rng = np.random.default_rng(seed)
+    sizes = [1] + [m] * (n_layers - 1) + [1]
+    g = random_multistage(rng, sizes)
+    res = BroadcastMatrixStringArray().run_graph(g)
+    assert np.isclose(
+        float(np.asarray(res.value).squeeze()), solve_backward(g).optimum
+    )

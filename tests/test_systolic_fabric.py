@@ -1,0 +1,100 @@
+"""Unit tests for the RTL simulation fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systolic import ArrayStats, ProcessingElement, Register, RunReport, SystolicError
+from repro.systolic.fabric import finalize_report
+
+
+class TestRegister:
+    def test_two_phase_semantics(self):
+        r = Register("r", 0)
+        r.set(5)
+        assert r.value == 0  # staged write invisible before latch
+        r.latch()
+        assert r.value == 5
+
+    def test_latch_without_write_is_noop(self):
+        r = Register("r", 7)
+        r.latch()
+        assert r.value == 7
+
+    def test_double_drive_detected(self):
+        r = Register("r")
+        r.set(1)
+        with pytest.raises(SystolicError, match="driven twice"):
+            r.set(2)
+
+    def test_can_write_again_after_latch(self):
+        r = Register("r")
+        r.set(1)
+        r.latch()
+        r.set(2)
+        r.latch()
+        assert r.value == 2
+
+
+class TestProcessingElement:
+    def test_reg_is_idempotent(self):
+        pe = ProcessingElement(3)
+        a = pe.reg("ACC", 0.0)
+        b = pe.reg("ACC", 99.0)
+        assert a is b
+        assert a.value == 0.0
+
+    def test_busy_counts_once_per_tick(self):
+        pe = ProcessingElement(0)
+        pe.count_op()
+        pe.count_op()
+        pe.count_op()
+        pe.end_tick()
+        assert pe.busy_ticks == 1
+        assert pe.op_count == 3
+
+    def test_idle_tick_not_counted(self):
+        pe = ProcessingElement(0)
+        pe.end_tick()
+        assert pe.busy_ticks == 0
+
+    def test_end_tick_latches_registers(self):
+        pe = ProcessingElement(0)
+        r = pe.reg("R", 0)
+        r.set(9)
+        pe.end_tick()
+        assert r.value == 9
+
+    def test_getitem(self):
+        pe = ProcessingElement(1)
+        pe.reg("X", 4)
+        assert pe["X"].value == 4
+
+
+class TestReports:
+    def make_report(self) -> RunReport:
+        pes = [ProcessingElement(i) for i in range(3)]
+        for pe in pes:
+            pe.count_op(4)
+            pe.end_tick()
+        stats = ArrayStats()
+        for _ in range(10):
+            stats.record_tick()
+        stats.input_words = 6
+        return finalize_report("test", pes, stats, iterations=12, serial_ops=30)
+
+    def test_report_fields(self):
+        rep = self.make_report()
+        assert rep.num_pes == 3
+        assert rep.wall_ticks == 10
+        assert rep.iterations == 12
+        assert rep.total_ops == 12
+        assert rep.input_words == 6
+
+    def test_processor_utilization(self):
+        rep = self.make_report()
+        assert rep.processor_utilization == pytest.approx(30 / (12 * 3))
+
+    def test_busy_fraction(self):
+        rep = self.make_report()
+        assert rep.busy_fraction == pytest.approx(3 / (10 * 3))

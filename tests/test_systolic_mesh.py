@@ -1,0 +1,108 @@
+"""Unit tests for the 2-D mesh matrix-multiplication array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring import MAX_PLUS, MIN_PLUS, PLUS_TIMES, matmul
+from repro.systolic import MeshMatrixMultiplier, SystolicError, mesh_cycles
+
+
+class TestCorrectness:
+    def test_square_min_plus(self, rng):
+        a = rng.uniform(0, 9, (5, 5))
+        b = rng.uniform(0, 9, (5, 5))
+        res = MeshMatrixMultiplier().run(a, b)
+        assert np.allclose(res.value, matmul(MIN_PLUS, a, b))
+
+    def test_rectangular(self, rng):
+        a = rng.uniform(0, 9, (2, 6))
+        b = rng.uniform(0, 9, (6, 4))
+        res = MeshMatrixMultiplier().run(a, b)
+        assert np.allclose(res.value, matmul(MIN_PLUS, a, b))
+
+    def test_plus_times_matches_numpy(self, rng):
+        a = rng.uniform(-1, 1, (4, 3))
+        b = rng.uniform(-1, 1, (3, 4))
+        res = MeshMatrixMultiplier(PLUS_TIMES).run(a, b)
+        assert np.allclose(res.value, a @ b)
+
+    def test_max_plus(self, rng):
+        a = rng.uniform(0, 9, (3, 3))
+        b = rng.uniform(0, 9, (3, 3))
+        res = MeshMatrixMultiplier(MAX_PLUS).run(a, b)
+        assert np.allclose(res.value, matmul(MAX_PLUS, a, b))
+
+    def test_one_by_one(self):
+        res = MeshMatrixMultiplier().run(np.array([[2.0]]), np.array([[3.0]]))
+        assert float(res.value[0, 0]) == 5.0
+        assert res.report.wall_ticks == 1
+
+
+class TestSchedule:
+    def test_classic_3m_minus_2(self, rng):
+        for m in (1, 2, 4, 7):
+            a = rng.uniform(0, 9, (m, m))
+            b = rng.uniform(0, 9, (m, m))
+            res = MeshMatrixMultiplier().run(a, b)
+            assert res.report.wall_ticks == 3 * m - 2
+            assert mesh_cycles(m, m, m) == 3 * m - 2
+
+    def test_rectangular_cycles(self):
+        assert mesh_cycles(2, 3, 4) == 2 + 4 + 3 - 2
+
+    def test_each_pe_does_k_ops(self, rng):
+        a = rng.uniform(0, 9, (3, 5))
+        b = rng.uniform(0, 9, (5, 4))
+        res = MeshMatrixMultiplier().run(a, b)
+        assert all(ops == 5 for ops in res.report.pe_op_counts)
+        assert res.report.total_ops == res.report.serial_ops == 3 * 5 * 4
+
+    def test_io_words(self, rng):
+        a = rng.uniform(0, 9, (3, 4))
+        b = rng.uniform(0, 9, (4, 2))
+        res = MeshMatrixMultiplier().run(a, b)
+        assert res.report.input_words == a.size + b.size
+        assert res.report.output_words == 3 * 2
+
+    def test_pu_formula(self, rng):
+        # PU = n*k*m / ((n+m+k-2) * n*m) -> ~1/3 for large square.
+        m = 8
+        a = rng.uniform(0, 9, (m, m))
+        b = rng.uniform(0, 9, (m, m))
+        res = MeshMatrixMultiplier().run(a, b)
+        expected = m**3 / ((3 * m - 2) * m * m)
+        assert res.report.processor_utilization == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(SystolicError, match="inner dimensions"):
+            MeshMatrixMultiplier().run(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_non_2d(self):
+        with pytest.raises(SystolicError):
+            MeshMatrixMultiplier().run(np.zeros(3), np.zeros((3, 3)))
+
+    def test_bad_cycles_args(self):
+        with pytest.raises(ValueError):
+            mesh_cycles(0, 1, 1)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=4),
+    k=st.integers(min_value=1, max_value=4),
+    m=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_mesh_matches_vectorized(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0, 9, (n, k))
+    b = rng.uniform(0, 9, (k, m))
+    res = MeshMatrixMultiplier().run(a, b)
+    assert np.allclose(res.value, matmul(MIN_PLUS, a, b))
+    assert res.report.wall_ticks == mesh_cycles(n, k, m)

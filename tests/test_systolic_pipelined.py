@@ -1,0 +1,153 @@
+"""Unit tests for the Fig. 3 pipelined matrix-string array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp import solve_backward
+from repro.graphs import fig1a_graph, random_multistage, single_source_sink
+from repro.semiring import MAX_PLUS, MIN_PLUS, chain_product
+from repro.systolic import PipelinedMatrixStringArray, SystolicError
+
+
+@pytest.fixture
+def array():
+    return PipelinedMatrixStringArray()
+
+
+class TestCorrectness:
+    def test_fig1a_example(self, array):
+        g = fig1a_graph()
+        res = array.run_graph(g)
+        assert float(res.value) == 6.0
+
+    def test_matches_sequential_on_randoms(self, array, rng):
+        for n_inter in (1, 2, 3, 4, 5):
+            g = single_source_sink(rng, n_inter, 4)
+            res = array.run_graph(g)
+            assert np.isclose(float(res.value), solve_backward(g).optimum)
+
+    def test_multi_source_vector_result(self, array, rng):
+        g = random_multistage(rng, [4, 4, 4, 4, 1])
+        res = array.run_graph(g)
+        ref = chain_product(MIN_PLUS, g.as_matrices())[:, 0]
+        assert np.allclose(np.asarray(res.value), ref)
+
+    def test_both_phase_parities(self, array, rng):
+        # Even and odd numbers of products must both work (ODD control).
+        for n_layers in (2, 3, 4, 5, 6, 7):
+            sizes = [1] + [3] * (n_layers - 1) + [1]
+            g = random_multistage(rng, sizes)
+            res = array.run_graph(g)
+            assert np.isclose(float(res.value), solve_backward(g).optimum), n_layers
+
+    def test_width_one_degenerate(self, array, rng):
+        g = random_multistage(rng, [1, 1, 1, 1])
+        res = array.run_graph(g)
+        assert np.isclose(float(np.asarray(res.value).squeeze()), solve_backward(g).optimum)
+
+    def test_max_plus_variant(self, rng):
+        arr = PipelinedMatrixStringArray(MAX_PLUS)
+        costs = tuple(rng.uniform(0, 5, s) for s in [(1, 3), (3, 3), (3, 1)])
+        from repro.graphs import MultistageGraph
+
+        g = MultistageGraph(costs=costs, semiring=MAX_PLUS)
+        res = arr.run_graph(g)
+        assert np.isclose(float(res.value), solve_backward(g).optimum)
+
+    def test_raw_matrix_string(self, array, rng):
+        mats = [rng.uniform(0, 5, (3, 3)) for _ in range(4)] + [rng.uniform(0, 5, 3)]
+        res = array.run(mats)
+        ref = chain_product(MIN_PLUS, mats[:-1] + [np.asarray(mats[-1])[:, None]])[:, 0]
+        assert np.allclose(np.asarray(res.value), ref)
+
+
+class TestSchedule:
+    def test_iteration_count_is_products_times_m(self, array, rng):
+        # P matrices (incl. the vector) -> P - 1 products of m iterations.
+        for n_inter, m in [(2, 3), (4, 3), (3, 5)]:
+            g = single_source_sink(rng, n_inter, m)
+            res = array.run_graph(g)
+            n_products = g.num_layers - 1
+            assert res.report.iterations == n_products * m
+
+    def test_wall_clock_includes_drain(self, array, rng):
+        g = single_source_sink(rng, 3, 4)
+        res = array.run_graph(g)
+        n_products = g.num_layers - 1
+        assert res.report.wall_ticks == n_products * 4 + (4 - 1)
+
+    def test_fig1a_nine_iterations(self, array):
+        # The paper's walkthrough: three products x three iterations.
+        res = array.run_graph(fig1a_graph())
+        assert res.report.iterations == 9
+
+    def test_pu_approaches_one_for_long_graphs(self, array, rng):
+        g_short = single_source_sink(rng, 2, 4)
+        g_long = single_source_sink(rng, 30, 4)
+        pu_short = array.run_graph(g_short).report.processor_utilization
+        pu_long = array.run_graph(g_long).report.processor_utilization
+        assert pu_long > pu_short
+        assert pu_long > 0.9
+
+    def test_interior_pes_busy_every_phase(self, array, rng):
+        g = single_source_sink(rng, 4, 3)
+        res = array.run_graph(g)
+        # Full-matrix phases keep all PEs busy m ticks each; only the
+        # final scalar phase narrows to one PE.
+        full_phases = g.num_layers - 2
+        assert max(res.report.pe_busy_ticks) >= full_phases * 3
+
+    def test_io_accounting(self, array, rng):
+        g = single_source_sink(rng, 2, 3)
+        res = array.run_graph(g)
+        # v (m) + interior matrix (m*m) + row vector (m) matrix words.
+        assert res.report.input_words == 3 + 9 + 3
+        assert res.report.output_words == 1
+
+
+class TestValidation:
+    def test_needs_two_operands(self, array):
+        with pytest.raises(SystolicError):
+            array.run([np.zeros((3, 3))])
+
+    def test_last_operand_must_be_vector(self, array):
+        with pytest.raises(SystolicError, match="column vector"):
+            array.run([np.zeros((3, 3)), np.zeros((3, 3))])
+
+    def test_interior_must_be_square(self, array):
+        with pytest.raises(SystolicError):
+            array.run([np.zeros((3, 3)), np.zeros((2, 3)), np.zeros(3)])
+
+    def test_first_rows_constrained(self, array):
+        with pytest.raises(SystolicError, match="leftmost"):
+            array.run([np.zeros((2, 3)), np.zeros((3, 3)), np.zeros(3)])
+
+    def test_semiring_mismatch_rejected(self, array, rng):
+        from repro.graphs import MultistageGraph
+
+        g = MultistageGraph(
+            costs=(rng.uniform(0, 1, (1, 2)), rng.uniform(0, 1, (2, 1))),
+            semiring=MAX_PLUS,
+        )
+        with pytest.raises(SystolicError, match="semiring"):
+            array.run_graph(g)
+
+
+@given(
+    n_layers=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_always_matches_sequential(n_layers, m, seed):
+    rng = np.random.default_rng(seed)
+    sizes = [1] + [m] * (n_layers - 1) + [1]
+    g = random_multistage(rng, sizes)
+    res = PipelinedMatrixStringArray().run_graph(g)
+    assert np.isclose(
+        float(np.asarray(res.value).squeeze()), solve_backward(g).optimum
+    )

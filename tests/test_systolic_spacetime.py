@@ -1,0 +1,70 @@
+"""Unit tests for space-time diagram rendering and trace capture."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import fig1b_problem
+from repro.systolic import FeedbackSystolicArray, render_spacetime, trace_to_grid
+
+
+class TestGrid:
+    def test_basic_bucketing(self):
+        grid = trace_to_grid([(1, 0, "a"), (2, 1, "b")], num_pes=2, num_ticks=3)
+        assert grid[0] == ["a", ".", "."]
+        assert grid[1] == [".", "b", "."]
+
+    def test_collision_marked(self):
+        grid = trace_to_grid([(1, 0, "a"), (1, 0, "b")], 1, 1)
+        assert grid[0][0] == "a/b"
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            trace_to_grid([(0, 0, "a")], 1, 1)
+        with pytest.raises(ValueError):
+            trace_to_grid([(1, 5, "a")], 1, 1)
+        with pytest.raises(ValueError):
+            trace_to_grid([], 0, 1)
+
+
+class TestRender:
+    def test_render_contains_rows_and_headers(self):
+        out = render_spacetime([(1, 0, "x")], num_pes=2, num_ticks=2)
+        lines = out.splitlines()
+        assert lines[0].lstrip().startswith("t1")
+        assert lines[1].startswith("P1")
+        assert lines[2].startswith("P2")
+        assert "x" in lines[1]
+
+
+class TestFeedbackTrace:
+    def test_trace_off_by_default(self):
+        res = FeedbackSystolicArray().run(fig1b_problem())
+        assert res.trace == ()
+
+    def test_trace_matches_paper_schedule(self):
+        # The Fig. 5 walkthrough: x_{2,1} enters P1 at iteration m+1 = 4;
+        # the F=0 sweep occupies the last iterations; P_m sees the final
+        # dummy at iteration (N+1)m = 15.
+        res = FeedbackSystolicArray().run(fig1b_problem(), record_trace=True)
+        events = {(t, pe): label for t, pe, label in res.trace}
+        assert events[(4, 0)] == "x2,1"
+        assert events[(5, 1)] == "x2,1"  # one PE per iteration
+        assert events[(6, 2)] == "x2,1"
+        assert events[(15, 2)] == "F0"
+        assert events[(1, 0)] == "-"  # stage-1 transit
+
+    def test_no_double_occupancy(self):
+        # A PE processes at most one datum per tick (wiring invariant).
+        res = FeedbackSystolicArray().run(fig1b_problem(), record_trace=True)
+        seen = set()
+        for t, pe, _label in res.trace:
+            assert (t, pe) not in seen
+            seen.add((t, pe))
+
+    def test_render_roundtrip(self):
+        res = FeedbackSystolicArray().run(fig1b_problem(), record_trace=True)
+        out = render_spacetime(res.trace, 3, res.report.iterations)
+        assert "x4,3" in out
+        assert "/" not in out  # no collisions

@@ -1,0 +1,48 @@
+"""Unit tests for instance streaming through the pipelined array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp import solve_backward
+from repro.graphs import single_source_sink
+from repro.systolic import PipelinedMatrixStringArray, SystolicError, run_stream
+
+
+class TestRunStream:
+    def make_graphs(self, rng, count, n_inter=3, m=4):
+        return [single_source_sink(rng, n_inter, m) for _ in range(count)]
+
+    def test_values_match_individual_runs(self, rng):
+        graphs = self.make_graphs(rng, 5)
+        arr = PipelinedMatrixStringArray()
+        res = run_stream(arr, graphs)
+        for g, v in zip(graphs, res.values):
+            assert np.isclose(float(np.asarray(v).squeeze()), solve_backward(g).optimum)
+
+    def test_drain_amortized_once(self, rng):
+        graphs = self.make_graphs(rng, 8, n_inter=3, m=4)
+        arr = PipelinedMatrixStringArray()
+        single = arr.run_graph(graphs[0]).report
+        res = run_stream(arr, graphs)
+        per_instance_compute = single.wall_ticks - (4 - 1)
+        assert res.total_wall_ticks == 8 * per_instance_compute + (4 - 1)
+        # Amortized per-instance time beats the stand-alone time.
+        assert res.per_instance_wall_ticks < single.wall_ticks
+
+    def test_amortization_improves_with_stream_length(self, rng):
+        arr = PipelinedMatrixStringArray()
+        short = run_stream(arr, self.make_graphs(rng, 2))
+        long = run_stream(arr, self.make_graphs(rng, 16))
+        assert long.per_instance_wall_ticks < short.per_instance_wall_ticks
+
+    def test_mixed_shapes_rejected(self, rng):
+        arr = PipelinedMatrixStringArray()
+        graphs = [single_source_sink(rng, 3, 4), single_source_sink(rng, 3, 5)]
+        with pytest.raises(SystolicError, match="shape"):
+            run_stream(arr, graphs)
+
+    def test_empty_stream_rejected(self, rng):
+        with pytest.raises(SystolicError):
+            run_stream(PipelinedMatrixStringArray(), [])

@@ -1,0 +1,138 @@
+"""Unit tests for the generalized triangular-recurrence array engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp import random_obst_weights, solve_matrix_chain, solve_obst
+from repro.systolic import (
+    BroadcastParenthesizer,
+    MatrixChainSpec,
+    ObstSpec,
+    SystolicParenthesizer,
+    TriangularArray,
+    obst_t_d,
+    t_d_recurrence,
+    t_p_recurrence,
+)
+
+
+class TestMatrixChainSpec:
+    def test_values_match_dp(self, rng):
+        dims = list(rng.integers(1, 30, size=7))
+        run = TriangularArray("broadcast").run(MatrixChainSpec(dims))
+        assert run.value == solve_matrix_chain(dims).cost
+
+    def test_schedules_match_dedicated_engine(self, rng):
+        # The generalized engine must reproduce the Prop-2/3 schedules
+        # of the dedicated parenthesizer exactly.
+        for n in (3, 5, 8, 12):
+            dims = list(rng.integers(1, 20, size=n + 1))
+            gb = TriangularArray("broadcast").run(MatrixChainSpec(dims))
+            gs = TriangularArray("systolic").run(MatrixChainSpec(dims))
+            db = BroadcastParenthesizer().run(dims)
+            ds = SystolicParenthesizer().run(dims)
+            assert gb.steps == db.steps == t_d_recurrence(n)
+            assert gs.steps == ds.steps == t_p_recurrence(n)
+            assert gb.value == db.order.cost
+            assert gs.value == ds.order.cost
+
+    def test_subproblem_values_all_correct(self, rng):
+        dims = list(rng.integers(1, 20, size=6))
+        run = TriangularArray("broadcast").run(MatrixChainSpec(dims))
+        for (i, j), v in run.values.items():
+            assert v == solve_matrix_chain(dims[i - 1 : j + 1]).cost
+
+
+class TestObstSpec:
+    def test_value_matches_dp(self):
+        for seed in range(5):
+            p, q = random_obst_weights(np.random.default_rng(seed), 6)
+            run = TriangularArray("broadcast").run(ObstSpec(p, q))
+            assert run.value == pytest.approx(solve_obst(p, q).cost)
+
+    def test_broadcast_schedule_is_n_plus_1(self):
+        for n in (1, 2, 4, 7, 12):
+            p, q = random_obst_weights(np.random.default_rng(n), n)
+            run = TriangularArray("broadcast").run(ObstSpec(p, q))
+            assert run.steps == obst_t_d(n) == n + 1
+
+    def test_systolic_schedule_doubles(self):
+        for n in (2, 5, 9):
+            p, q = random_obst_weights(np.random.default_rng(n), n)
+            b = TriangularArray("broadcast").run(ObstSpec(p, q))
+            s = TriangularArray("systolic").run(ObstSpec(p, q))
+            assert pytest.approx(s.value) == b.value
+            # Systolic transfer doubles the per-halving cost, same shape
+            # as Prop. 3: 2n + O(1).
+            assert 2 * n <= s.steps <= 2 * n + 3
+
+    def test_decisions_reconstruct_roots(self):
+        p, q = random_obst_weights(np.random.default_rng(3), 5)
+        run = TriangularArray("broadcast").run(ObstSpec(p, q))
+        sol = solve_obst(p, q)
+        # The winning alternative at the goal is the optimal root
+        # (modulo cost ties): alternative index r - i.
+        i, j = 1, 5
+        chosen_root = i + run.decisions[(i, j)]
+        alt_cost = (
+            run.values[(i, chosen_root - 1)]
+            + run.values[(chosen_root + 1, j)]
+        )
+        best_cost = run.values[(i, sol.root[(i, j)] - 1)] + run.values[(sol.root[(i, j)] + 1, j)]
+        assert alt_cost == pytest.approx(best_cost)
+
+    def test_zero_keys(self):
+        run = TriangularArray("broadcast").run(ObstSpec([], [1.0]))
+        assert run.value == pytest.approx(1.0)
+        assert run.num_processors == 0
+
+
+class TestEngineOptions:
+    def test_capacity_one_slows_schedule(self, rng):
+        dims = list(rng.integers(1, 20, size=9))
+        fast = TriangularArray("broadcast", alternatives_per_step=2).run(
+            MatrixChainSpec(dims)
+        )
+        slow = TriangularArray("broadcast", alternatives_per_step=1).run(
+            MatrixChainSpec(dims)
+        )
+        assert slow.steps > fast.steps
+        assert slow.value == fast.value
+
+    def test_large_capacity_hits_dependency_floor(self, rng):
+        dims = list(rng.integers(1, 20, size=9))
+        run = TriangularArray("broadcast", alternatives_per_step=100).run(
+            MatrixChainSpec(dims)
+        )
+        # With unlimited fold capacity only the dependency chain remains:
+        # ceil(log2) halvings, each 1 step.
+        assert run.steps <= t_d_recurrence(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="transfer"):
+            TriangularArray("warp")
+        with pytest.raises(ValueError):
+            TriangularArray(alternatives_per_step=0)
+
+    def test_alternatives_counted_once(self, rng):
+        dims = list(rng.integers(1, 20, size=6))
+        run = TriangularArray("broadcast").run(MatrixChainSpec(dims))
+        n = 5
+        expected = sum((n - s + 1) * (s - 1) for s in range(2, n + 1))
+        assert run.alternatives_evaluated == expected
+
+
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_obst_array_equals_dp(n, seed):
+    p, q = random_obst_weights(np.random.default_rng(seed), n)
+    run = TriangularArray("broadcast").run(ObstSpec(p, q))
+    assert run.value == pytest.approx(solve_obst(p, q).cost)
+    assert run.steps == n + 1
