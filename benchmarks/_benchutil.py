@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-__all__ = ["print_table"]
+import json
+import pathlib
+from typing import Any
+
+__all__ = ["print_table", "write_bench_record"]
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:
@@ -16,3 +20,42 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     print("  ".join("-" * w for w in widths))
     for r in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def write_bench_record(
+    name: str,
+    *,
+    design: str,
+    backend: str,
+    n: int,
+    m: int,
+    wall_seconds: float,
+    iterations: int,
+    pu: float,
+    extra: dict[str, Any] | None = None,
+    out_dir: str | pathlib.Path | None = None,
+) -> pathlib.Path:
+    """Emit a uniform ``BENCH_<name>.json`` record and return its path.
+
+    Every benchmark writes the same shape — design, backend, problem
+    size (N matrices × m values), wall-clock seconds, paper iterations,
+    and PU — so downstream tooling (and the CI smoke step) can diff runs
+    without per-benchmark parsers.  ``out_dir`` defaults to the current
+    working directory; scratch records there are gitignored, while
+    records checked in deliberately live under ``benchmarks/results/``.
+    """
+    record: dict[str, Any] = {
+        "bench": name,
+        "design": design,
+        "backend": backend,
+        "N": int(n),
+        "m": int(m),
+        "wall_seconds": float(wall_seconds),
+        "iterations": int(iterations),
+        "pu": float(pu),
+    }
+    if extra:
+        record.update(extra)
+    out = pathlib.Path(out_dir or ".") / f"BENCH_{name}.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    return out

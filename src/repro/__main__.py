@@ -7,6 +7,13 @@ Small demonstration front-end over the library:
 * ``python -m repro fig6 [--n N]`` — regenerate the Figure-6 sweep.
 * ``python -m repro spacetime [--stages N] [--values M]`` — run the
   Fig. 5 array on a random instance and print its space-time diagram.
+* ``python -m repro bench [--n N] [--m M] [--backend B]`` — time the
+  pipelined array on a random matrix string, per backend, and
+  optionally write a ``BENCH_*.json`` record (the CI smoke step).
+
+``demo`` and ``bench`` accept ``--backend rtl|fast|auto`` to pick the
+array execution engine (cycle-accurate machine vs. vectorized
+whole-array reductions).
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     ]
     print(f"{'class':20s} {'method':36s} {'optimum':>12s}  validated")
     for name, problem in problems:
-        rep = solve(problem)
+        rep = solve(problem, backend=args.backend)
         print(f"{name:20s} {rep.method:36s} {rep.optimum:12.3f}  {rep.validated}")
     return 0
 
@@ -68,6 +75,48 @@ def _cmd_spacetime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import time
+
+    from .systolic import BACKENDS, PipelinedMatrixStringArray
+
+    rng = np.random.default_rng(args.seed)
+    mats = [rng.integers(0, 100, size=(args.m, args.m)).astype(float)
+            for _ in range(args.n - 1)]
+    mats.append(rng.integers(0, 100, size=(args.m, 1)).astype(float))
+    array = PipelinedMatrixStringArray()
+    backends = list(BACKENDS[:2]) if args.backend == "auto" else [args.backend]
+    timings: dict[str, float] = {}
+    for backend in backends:
+        start = time.perf_counter()
+        res = array.run(mats, backend=backend)
+        timings[backend] = time.perf_counter() - start
+        print(
+            f"pipelined N={args.n} m={args.m} backend={backend}: "
+            f"{timings[backend]:.4f}s, {res.report.iterations} iterations, "
+            f"PU {res.report.processor_utilization:.3f}"
+        )
+    if len(timings) == 2:
+        print(f"speedup fast vs rtl: {timings['rtl'] / timings['fast']:.1f}x")
+    if args.json:
+        backend = backends[-1]
+        record = {
+            "bench": "cli_smoke",
+            "design": res.report.design,
+            "backend": backend,
+            "N": args.n,
+            "m": args.m,
+            "wall_seconds": timings[backend],
+            "iterations": res.report.iterations,
+            "pu": res.report.processor_utilization,
+        }
+        pathlib.Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -77,6 +126,10 @@ def main(argv: list[str] | None = None) -> int:
 
     p_demo = sub.add_parser("demo", help="solve one problem per Table-1 class")
     p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument(
+        "--backend", choices=("rtl", "fast", "auto"), default="rtl",
+        help="systolic-array execution engine (default: rtl)",
+    )
     p_demo.set_defaults(func=_cmd_demo)
 
     p_fig6 = sub.add_parser("fig6", help="regenerate the Figure-6 sweep")
@@ -88,6 +141,17 @@ def main(argv: list[str] | None = None) -> int:
     p_st.add_argument("--values", type=int, default=3)
     p_st.add_argument("--seed", type=int, default=0)
     p_st.set_defaults(func=_cmd_spacetime)
+
+    p_bench = sub.add_parser("bench", help="time the pipelined array per backend")
+    p_bench.add_argument("--n", type=int, default=16, help="matrices in the string")
+    p_bench.add_argument("--m", type=int, default=8, help="values per stage")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--backend", choices=("rtl", "fast", "auto"), default="auto",
+        help="backend to time; 'auto' times both and prints the speedup",
+    )
+    p_bench.add_argument("--json", default=None, help="write a BENCH_*.json record here")
+    p_bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

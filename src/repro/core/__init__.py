@@ -18,6 +18,7 @@ from .metrics import (
     measured_pu,
     processor_utilization,
     speedup,
+    summarize_report,
 )
 from .problem import MatrixChainProblem
 from .solver import SolveReport, solve
@@ -37,6 +38,7 @@ __all__ = [
     "feedback_pu",
     "measured_pu",
     "speedup",
+    "summarize_report",
     "processor_utilization",
     "kt2",
     "at2_surface",

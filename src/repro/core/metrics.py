@@ -11,6 +11,8 @@ benchmarks can print paper-formula vs. measured side by side:
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..dnc.analysis import at2_lower_bound, at2_surface, kt2, processor_utilization
 from ..systolic.fabric import RunReport
 from ..systolic.feedback_array import feedback_pu
@@ -20,6 +22,7 @@ __all__ = [
     "feedback_pu",
     "measured_pu",
     "speedup",
+    "summarize_report",
     "processor_utilization",
     "kt2",
     "at2_surface",
@@ -49,3 +52,24 @@ def speedup(serial_ops: int, parallel_time: int) -> float:
     if parallel_time <= 0:
         raise ValueError("parallel_time must be positive")
     return serial_ops / parallel_time
+
+
+def summarize_report(report: RunReport) -> dict[str, Any]:
+    """One-line-able summary dict of a systolic run report.
+
+    The derived ratios come from the report's own accessors, which
+    return 0.0 (never NaN) for empty runs; ``is_empty`` flags that case
+    explicitly so logging pipelines can tell "idle array" apart from
+    "fully serialized array".
+    """
+    return {
+        "design": report.design,
+        "backend": report.backend,
+        "num_pes": report.num_pes,
+        "iterations": report.iterations,
+        "wall_ticks": report.wall_ticks,
+        "serial_ops": report.serial_ops,
+        "processor_utilization": report.processor_utilization,
+        "busy_fraction": report.busy_fraction,
+        "is_empty": report.is_empty,
+    }

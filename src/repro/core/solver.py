@@ -39,6 +39,7 @@ from ..graphs import MultistageGraph, NodeValueProblem
 from ..systolic import (
     BroadcastMatrixStringArray,
     BroadcastParenthesizer,
+    normalize_backend,
     FeedbackSystolicArray,
     PipelinedMatrixStringArray,
     SystolicParenthesizer,
@@ -81,31 +82,43 @@ def _validated(a: float, b: float) -> bool:
     return bool(np.isclose(a, b, rtol=1e-9, atol=1e-9))
 
 
-def solve(problem: object, *, prefer: str | None = None) -> SolveReport:
+def solve(
+    problem: object, *, prefer: str | None = None, backend: str = "rtl"
+) -> SolveReport:
     """Classify ``problem`` per Table 1, solve it, and validate.
 
     ``prefer`` overrides the architecture within a class:
     ``"pipelined"``/``"broadcast"``/``"sequential"`` for edge-cost serial
     problems, ``"broadcast"``/``"systolic"`` for matrix-chain ordering,
     ``"dnc"`` to force the polyadic-serial path on a multistage graph.
+
+    ``backend`` selects the array execution engine for every systolic
+    path: ``"rtl"`` (cycle-accurate machine), ``"fast"`` (vectorized
+    whole-array reductions with closed-form counters), or ``"auto"``
+    (fast, cross-validated against RTL on small instances).  Paths that
+    do not run a systolic array (sequential sweeps, variable
+    elimination, divide-and-conquer) ignore it.
     """
+    backend = normalize_backend(backend)
     rec = recommend(problem)
 
     if isinstance(problem, NodeValueProblem):
-        return _solve_node_value(problem, rec)
+        return _solve_node_value(problem, rec, backend)
     if isinstance(problem, MultistageGraph):
-        return _solve_graph(problem, rec, prefer)
+        return _solve_graph(problem, rec, prefer, backend)
     if isinstance(problem, MatrixChainProblem):
-        return _solve_chain(problem, rec, prefer)
+        return _solve_chain(problem, rec, prefer, backend)
     if isinstance(problem, NonserialObjective):
         return _solve_nonserial(problem, rec)
     raise TypeError(f"cannot solve object of type {type(problem).__name__}")
 
 
-def _solve_node_value(problem: NodeValueProblem, rec: Recommendation) -> SolveReport:
+def _solve_node_value(
+    problem: NodeValueProblem, rec: Recommendation, backend: str = "rtl"
+) -> SolveReport:
     ref = solve_node_value(problem)
     if problem.is_uniform and rec.dp_class is DPClass.MONADIC_SERIAL:
-        res = FeedbackSystolicArray(problem.semiring).run(problem)
+        res = FeedbackSystolicArray(problem.semiring).run(problem, backend=backend)
         return SolveReport(
             dp_class=rec.dp_class,
             method="fig5-feedback-array",
@@ -117,7 +130,7 @@ def _solve_node_value(problem: NodeValueProblem, rec: Recommendation) -> SolveRe
             recommendation=rec,
         )
     if rec.dp_class is DPClass.POLYADIC_SERIAL:
-        return _solve_graph(problem.to_graph(), rec, "dnc")
+        return _solve_graph(problem.to_graph(), rec, "dnc", backend)
     return SolveReport(
         dp_class=rec.dp_class,
         method="sequential-sweep",
@@ -140,7 +153,10 @@ def _graph_fits_linear_array(graph: MultistageGraph) -> bool:
 
 
 def _solve_graph(
-    graph: MultistageGraph, rec: Recommendation, prefer: str | None
+    graph: MultistageGraph,
+    rec: Recommendation,
+    prefer: str | None,
+    backend: str = "rtl",
 ) -> SolveReport:
     ref = solve_backward(graph)
     method = prefer
@@ -193,7 +209,7 @@ def _solve_graph(
         if method == "broadcast" and target.is_single_source_sink:
             # The Fig. 4 ARG path registers let the dispatcher hand back
             # a traced optimal path instead of only the cost.
-            path, res = array.run_graph_with_path(target)
+            path, res = array.run_graph_with_path(target, backend=backend)
             return SolveReport(
                 dp_class=rec.dp_class,
                 method="fig4-broadcast-array",
@@ -204,7 +220,7 @@ def _solve_graph(
                 detail=res,
                 recommendation=rec,
             )
-        res = array.run_graph(target)
+        res = array.run_graph(target, backend=backend)
         value = np.asarray(res.value)
         optimum = float(graph.semiring.add_reduce(value, axis=None))
         return SolveReport(
@@ -230,13 +246,16 @@ def _solve_graph(
 
 
 def _solve_chain(
-    problem: MatrixChainProblem, rec: Recommendation, prefer: str | None
+    problem: MatrixChainProblem,
+    rec: Recommendation,
+    prefer: str | None,
+    backend: str = "rtl",
 ) -> SolveReport:
     ref = solve_matrix_chain(problem.dims)
     engine: Any = (
         BroadcastParenthesizer() if prefer == "broadcast" else SystolicParenthesizer()
     )
-    run = engine.run(problem.dims)
+    run = engine.run(problem.dims, backend=backend)
     return SolveReport(
         dp_class=rec.dp_class,
         method=engine.design_name,

@@ -21,7 +21,7 @@ import numpy as np
 
 from .graphs import MultistageGraph, NodeValueProblem, StagePath
 from .semiring import by_name
-from .systolic.fabric import RunReport
+from .systolic.fabric import RunReport, TraceEvent
 
 __all__ = [
     "save_graph",
@@ -29,6 +29,11 @@ __all__ = [
     "graph_to_dict",
     "graph_from_dict",
     "report_to_dict",
+    "report_from_dict",
+    "trace_to_dicts",
+    "trace_from_dicts",
+    "save_run",
+    "load_run",
     "path_to_dict",
     "path_from_dict",
 ]
@@ -103,5 +108,56 @@ def report_to_dict(report: RunReport) -> dict[str, Any]:
     out["pe_op_counts"] = list(report.pe_op_counts)
     out["processor_utilization"] = report.processor_utilization
     out["busy_fraction"] = report.busy_fraction
+    out["is_empty"] = report.is_empty
     json.dumps(out)  # guarantee JSON-ability at the source
     return out
+
+
+def report_from_dict(data: dict[str, Any]) -> RunReport:
+    """Inverse of :func:`report_to_dict` (derived fields are dropped)."""
+    fields = {f.name for f in dataclasses.fields(RunReport)}
+    kwargs = {k: v for k, v in data.items() if k in fields}
+    kwargs["pe_busy_ticks"] = tuple(int(v) for v in kwargs.get("pe_busy_ticks", ()))
+    kwargs["pe_op_counts"] = tuple(int(v) for v in kwargs.get("pe_op_counts", ()))
+    return RunReport(**kwargs)
+
+
+def trace_to_dicts(events: tuple[TraceEvent, ...] | list[TraceEvent]) -> list[dict[str, Any]]:
+    """JSON-able dict list of a typed trace-event stream."""
+    return [dataclasses.asdict(ev) for ev in events]
+
+
+def trace_from_dicts(data: list[dict[str, Any]]) -> tuple[TraceEvent, ...]:
+    """Inverse of :func:`trace_to_dicts`."""
+    return tuple(
+        TraceEvent(
+            tick=int(d["tick"]),
+            pe=int(d["pe"]),
+            kind=str(d["kind"]),
+            label=str(d["label"]),
+            phase=int(d.get("phase", 0)),
+        )
+        for d in data
+    )
+
+
+def save_run(
+    path: str | pathlib.Path,
+    report: RunReport,
+    events: tuple[TraceEvent, ...] | list[TraceEvent] = (),
+) -> None:
+    """Write a run report (and optional typed trace) to ``path`` as JSON."""
+    record = {
+        "kind": "systolic_run",
+        "report": report_to_dict(report),
+        "events": trace_to_dicts(tuple(events)),
+    }
+    pathlib.Path(path).write_text(json.dumps(record, indent=2) + "\n")
+
+
+def load_run(path: str | pathlib.Path) -> tuple[RunReport, tuple[TraceEvent, ...]]:
+    """Read a ``(report, events)`` pair written by :func:`save_run`."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("kind") != "systolic_run":
+        raise ValueError(f"not a systolic-run file: kind={data.get('kind')!r}")
+    return report_from_dict(data["report"]), trace_from_dicts(data["events"])

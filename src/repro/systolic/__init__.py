@@ -1,6 +1,27 @@
-"""Cycle-accurate simulators of the paper's systolic-array designs."""
+"""Cycle-accurate simulators of the paper's systolic-array designs.
 
-from .fabric import ArrayStats, ProcessingElement, Register, RunReport, SystolicError
+Every design runs on the shared :class:`SystolicMachine` (RTL backend)
+and additionally ships a vectorized fast backend; select with
+``backend="rtl" | "fast" | "auto"`` on the array constructors or their
+``run`` methods.
+"""
+
+from .fabric import (
+    ArrayStats,
+    AUTO_VALIDATE_LIMIT,
+    BACKENDS,
+    BackendMismatch,
+    EventBus,
+    ProcessingElement,
+    Register,
+    RunReport,
+    SystolicError,
+    SystolicMachine,
+    TraceEvent,
+    TraceSink,
+    normalize_backend,
+    run_with_backend,
+)
 from .pipelined_array import (
     PipelinedArrayResult,
     PipelinedMatrixStringArray,
@@ -10,13 +31,14 @@ from .pipelined_array import (
 from .broadcast_array import BroadcastArrayResult, BroadcastMatrixStringArray
 from .feedback_array import FeedbackArrayResult, FeedbackSystolicArray, feedback_pu
 from .mesh_array import MeshArrayResult, MeshMatrixMultiplier, mesh_cycles
-from .spacetime import render_spacetime, trace_to_grid
+from .spacetime import cell_events, render_spacetime, trace_to_grid
 from .triangular import (
     MatrixChainSpec,
     ObstSpec,
     TriangularArray,
     TriangularRun,
     TriangularSpec,
+    greedy_completion,
     obst_t_d,
 )
 from .parenthesization import (
@@ -33,6 +55,15 @@ __all__ = [
     "ArrayStats",
     "RunReport",
     "SystolicError",
+    "SystolicMachine",
+    "TraceEvent",
+    "TraceSink",
+    "EventBus",
+    "BackendMismatch",
+    "BACKENDS",
+    "AUTO_VALIDATE_LIMIT",
+    "normalize_backend",
+    "run_with_backend",
     "PipelinedMatrixStringArray",
     "PipelinedArrayResult",
     "StreamedRunResult",
@@ -52,10 +83,12 @@ __all__ = [
     "mesh_cycles",
     "render_spacetime",
     "trace_to_grid",
+    "cell_events",
     "TriangularSpec",
     "TriangularArray",
     "TriangularRun",
     "MatrixChainSpec",
     "ObstSpec",
     "obst_t_d",
+    "greedy_completion",
 ]

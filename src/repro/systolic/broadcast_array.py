@@ -16,6 +16,12 @@ every input matrix be fed in the same (untransposed) format:
 The final row-vector product (single-source graph) accumulates the
 scalar result in ``P₁`` while the bus carries the fed-back vector, as in
 the paper's last three example iterations.
+
+The RTL backend runs on :class:`~repro.systolic.fabric.SystolicMachine`
+and publishes ``op``/``broadcast``/``io`` events on its trace bus; the
+fast backend evaluates the same string with whole-array semiring
+reductions (including the ARG decision registers, via
+``add_argreduce``) and reports the schedule's closed-form counters.
 """
 
 from __future__ import annotations
@@ -26,7 +32,17 @@ import numpy as np
 
 from ..graphs import MultistageGraph
 from ..semiring import MIN_PLUS, Semiring
-from .fabric import ArrayStats, ProcessingElement, RunReport, SystolicError, finalize_report
+from ..semiring.matrix import matvec
+from .fabric import (
+    BackendMismatch,
+    ProcessingElement,
+    RunReport,
+    SystolicError,
+    SystolicMachine,
+    TraceEvent,
+    normalize_backend,
+    run_with_backend,
+)
 from .pipelined_array import _normalize_string
 
 __all__ = ["BroadcastArrayResult", "BroadcastMatrixStringArray"]
@@ -42,6 +58,12 @@ class BroadcastArrayResult:
     #: the winning next-stage vertex per PE — the matrix-string analogue
     #: of the Fig. 5 path registers.
     decisions: tuple[np.ndarray, ...] | None = None
+    #: (tick, pe, label) cell events when ``record_trace`` was requested;
+    #: there is no fill/drain skew, so ticks are the plain iteration
+    #: numbers.  Labels are ``p<phase>:x<j>`` for the bus value consumed.
+    trace: tuple[tuple[int, int, str], ...] = ()
+    #: The full typed event stream from the machine's trace bus.
+    events: tuple[TraceEvent, ...] = ()
 
 
 class BroadcastMatrixStringArray:
@@ -49,11 +71,17 @@ class BroadcastMatrixStringArray:
 
     design_name = "fig4-broadcast"
 
-    def __init__(self, semiring: Semiring = MIN_PLUS):
+    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl"):
         self.sr = semiring
+        self.backend = normalize_backend(backend)
 
     def run(
-        self, matrices: list[np.ndarray], *, track_decisions: bool = False
+        self,
+        matrices: list[np.ndarray],
+        *,
+        track_decisions: bool = False,
+        record_trace: bool = False,
+        backend: str | None = None,
     ) -> BroadcastArrayResult:
         """Evaluate the matrix string right-to-left on the array.
 
@@ -66,16 +94,67 @@ class BroadcastMatrixStringArray:
         accumulator — one extra register per PE, exactly the Fig. 5
         path-register idea transplanted — and the per-phase decision
         vectors come back for traceback (:meth:`run_graph_with_path`).
+
+        ``backend`` selects RTL simulation, the vectorized fast path, or
+        ``"auto"`` cross-validation; ``record_trace=True`` always runs
+        RTL (tracing is cycle-level).
         """
         sr = self.sr
+        resolved = normalize_backend(backend, self.backend)
+        if record_trace:
+            resolved = "rtl"
+        if track_decisions and sr.add_argreduce is None and resolved != "rtl":
+            resolved = "rtl"  # fast decisions need an argreduce; RTL tracks inline
         mats, vec, m = _normalize_string(sr, matrices)
-        pes = [ProcessingElement(i) for i in range(m)]
+        work = sum(int(mm.shape[0]) * int(mm.shape[1]) for mm in mats)
+        return run_with_backend(
+            resolved,
+            work=work,
+            rtl=lambda: self._run_rtl(
+                mats, vec, m, track_decisions=track_decisions, record_trace=record_trace
+            ),
+            fast=lambda: self._run_fast(mats, vec, m, track_decisions=track_decisions),
+            validate=self._validate,
+        )
+
+    def _validate(self, rtl: BroadcastArrayResult, fast: BroadcastArrayResult) -> None:
+        ok = np.allclose(
+            np.asarray(rtl.value), np.asarray(fast.value), equal_nan=True
+        ) and (rtl.report.iterations, rtl.report.wall_ticks, rtl.report.serial_ops) == (
+            fast.report.iterations,
+            fast.report.wall_ticks,
+            fast.report.serial_ops,
+        )
+        if ok and rtl.decisions is not None and fast.decisions is not None:
+            ok = len(rtl.decisions) == len(fast.decisions) and all(
+                np.array_equal(a, b) for a, b in zip(rtl.decisions, fast.decisions)
+            )
+        if not ok:
+            raise BackendMismatch(
+                f"{self.design_name}: rtl/fast disagree "
+                f"(rtl value {rtl.value!r}, fast value {fast.value!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # RTL backend
+    # ------------------------------------------------------------------
+    def _run_rtl(
+        self,
+        mats: list[np.ndarray],
+        vec: np.ndarray,
+        m: int,
+        *,
+        track_decisions: bool = False,
+        record_trace: bool = False,
+    ) -> BroadcastArrayResult:
+        sr = self.sr
+        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        pes = machine.add_pes(m)
         for pe in pes:
             pe.reg("ACC", sr.zero)
             pe.reg("S", sr.zero)  # gated copy of the accumulator (MOVE)
             pe.reg("ARG", -1)  # winning broadcast index (path register)
-        stats = ArrayStats()
-        stats.input_words += m  # initial vector v
+        machine.read_input(m, label="in:v")  # initial vector v
 
         bus_source: list[float] = [float(x) for x in vec]  # FIRST = 1 phase input
         num_phases = len(mats)
@@ -89,6 +168,7 @@ class BroadcastMatrixStringArray:
             serial_ops += mat.shape[0] * mat.shape[1]
             if is_row_vector and phase != num_phases - 1:
                 raise SystolicError("row-vector operand must be leftmost")
+            machine.begin_phase(f"p{phase}")
             if is_row_vector:
                 pes[0]["ACC"].set(sr.zero)
                 pes[0]["ARG"].set(-1)
@@ -97,25 +177,24 @@ class BroadcastMatrixStringArray:
                 for pe in pes:
                     pe["ACC"].set(sr.zero)
                     pe["ARG"].set(-1)
-                for pe in pes:
-                    pe.end_tick()
+                machine.latch()
             for j in range(m):
                 x_j = bus_source[j]
-                stats.broadcast_words += 1
+                machine.put_on_bus(1, label=f"bus:x{j + 1}")
                 if is_row_vector:
                     # Scalar product forms in P1 alone.
                     pe = pes[0]
                     self._accumulate(pe, float(mat[0, j]), x_j, j, track_decisions)
                     pe.count_op()
-                    stats.input_words += 1
+                    machine.emit("op", 0, f"p{phase}:x{j + 1}")
+                    machine.stats.input_words += 1
                 else:
                     for i, pe in enumerate(pes):
                         self._accumulate(pe, float(mat[i, j]), x_j, j, track_decisions)
                         pe.count_op()
-                    stats.input_words += m  # one matrix element per PE per tick
-                for pe in pes:
-                    pe.end_tick()
-                stats.record_tick()
+                        machine.emit("op", i, f"p{phase}:x{j + 1}")
+                    machine.stats.input_words += m  # one matrix element per PE per tick
+                machine.end_tick()
             if track_decisions:
                 width = 1 if is_row_vector else m
                 decisions.append(
@@ -128,8 +207,7 @@ class BroadcastMatrixStringArray:
                 # phase's bus source (FIRST = 0 feedback path).
                 for pe in pes:
                     pe["S"].set(pe["ACC"].value)
-                for pe in pes:
-                    pe.end_tick()
+                machine.latch()
                 bus_source = [float(pe["S"].value) for pe in pes]
 
         value = (
@@ -137,13 +215,74 @@ class BroadcastMatrixStringArray:
             if scalar_result is not None
             else sr.asarray(bus_source)
         )
-        stats.output_words += int(np.asarray(value).size)
-        report = finalize_report(
-            self.design_name,
-            pes,
-            stats,
+        machine.write_output(int(np.asarray(value).size), label="out:f")
+        report = machine.finalize(iterations=num_phases * m, serial_ops=serial_ops)
+        return BroadcastArrayResult(
+            value=value,
+            report=report,
+            decisions=tuple(decisions) if track_decisions else None,
+            trace=machine.legacy_trace(),
+            events=machine.trace_events(),
+        )
+
+    # ------------------------------------------------------------------
+    # Fast backend
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self,
+        mats: list[np.ndarray],
+        vec: np.ndarray,
+        m: int,
+        *,
+        track_decisions: bool = False,
+    ) -> BroadcastArrayResult:
+        """Whole-array evaluation with vectorized decision tracking.
+
+        The per-PE ARG register implements "first broadcast index that
+        achieves the final accumulator value", which for a whole phase is
+        exactly ``add_argreduce`` along the broadcast axis.
+        """
+        sr = self.sr
+        num_phases = len(mats)
+        x = np.asarray(vec)
+        serial_ops = 0
+        scalar_result: float | None = None
+        decisions: list[np.ndarray] = []
+        ops = [0] * m
+
+        for phase in range(num_phases):
+            mat = mats[num_phases - 1 - phase]
+            is_row_vector = mat.shape[0] == 1 and m > 1
+            serial_ops += int(mat.shape[0]) * int(mat.shape[1])
+            if is_row_vector and phase != num_phases - 1:
+                raise SystolicError("row-vector operand must be leftmost")
+            if track_decisions:
+                prod = sr.mul(mat, x[None, :])
+                decisions.append(np.asarray(sr.add_argreduce(prod, axis=1), dtype=np.intp))
+            y = matvec(sr, mat, x)
+            if is_row_vector:
+                scalar_result = float(y[0])
+                ops[0] += m
+            else:
+                x = y
+                for i in range(m):
+                    ops[i] += m
+
+        value = (
+            sr.asarray(scalar_result) if scalar_result is not None else sr.asarray(x)
+        )
+        report = RunReport(
+            design=self.design_name,
+            num_pes=m,
             iterations=num_phases * m,
+            wall_ticks=num_phases * m,
+            pe_busy_ticks=tuple(ops),
+            pe_op_counts=tuple(ops),
             serial_ops=serial_ops,
+            input_words=m + serial_ops,
+            output_words=int(np.asarray(value).size),
+            broadcast_words=num_phases * m,
+            backend="fast",
         )
         return BroadcastArrayResult(
             value=value,
@@ -164,13 +303,17 @@ class BroadcastMatrixStringArray:
             if merged == cand:
                 pe["ARG"].set(j)
 
-    def run_graph(self, graph: MultistageGraph) -> BroadcastArrayResult:
+    def run_graph(
+        self, graph: MultistageGraph, *, backend: str | None = None
+    ) -> BroadcastArrayResult:
         """Evaluate a single-sink multistage graph (backward formulation)."""
         if graph.semiring.name != self.sr.name:
             raise SystolicError("graph and array use different semirings")
-        return self.run(graph.as_matrices())
+        return self.run(graph.as_matrices(), backend=backend)
 
-    def run_graph_with_path(self, graph: MultistageGraph):
+    def run_graph_with_path(
+        self, graph: MultistageGraph, *, backend: str | None = None
+    ):
         """Solve a single-source/sink graph and trace the optimal path.
 
         Phase ``p`` evaluates layer ``L = num_layers − 2 − p``, so its
@@ -184,7 +327,7 @@ class BroadcastMatrixStringArray:
 
         if not graph.is_single_source_sink:
             raise SystolicError("path traceback needs a single-source/sink graph")
-        res = self.run(graph.as_matrices(), track_decisions=True)
+        res = self.run(graph.as_matrices(), track_decisions=True, backend=backend)
         assert res.decisions is not None
         n_layers = graph.num_layers
         nodes = [0]

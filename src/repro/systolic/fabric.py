@@ -13,21 +13,39 @@ designs are built on:
   same-tick output); the fabric makes it structurally impossible.
 * :class:`ProcessingElement` — a register container with per-PE activity
   accounting (busy ticks, operation counts).
+* :class:`SystolicMachine` — the shared simulation machine every array
+  design runs on: it owns the clock (tick counter + latch-all), phase
+  accounting with per-hop control-signal delay (the ODD/MOVE signals of
+  Fig. 3 propagate one PE per tick, which is what skews the overlapped
+  schedule), a deferred-delivery queue for feedback/control buses, the
+  I/O-port counters, and the structured :class:`EventBus` that trace
+  sinks subscribe to.
+* :class:`TraceEvent` / :class:`EventBus` / :class:`TraceSink` — the
+  typed trace bus.  Simulators emit ``op`` / ``shift`` / ``broadcast`` /
+  ``io`` / ``phase`` events; pluggable sinks consume them (the built-in
+  :class:`TraceSink` collects them for space-time rendering and JSON
+  export).
 * :class:`ArrayStats` / :class:`RunReport` — uniform measurement records:
   iteration counts, wall-clock ticks, per-PE utilization, and I/O-port
   traffic, which the benchmarks compare against the paper's closed forms
   (eq. 9 and friends).
 
-The concrete array designs (Figs. 3, 4, 5 and the Section-6.2
-parenthesization arrays) each own their tick loop — their control
-structures differ too much to share one — but all are built from these
-parts and all emit :class:`RunReport`.
+Every array design — Figs. 3, 4, 5, the mesh multiplier, and the
+Section-6.2 triangular/parenthesization arrays — is built on the machine
+and emits :class:`RunReport`.  Each design additionally ships a
+*vectorized fast backend* (whole-array NumPy semiring reductions, no
+per-tick Python loop) that reproduces the RTL backend's values and
+closed-form counters; :func:`run_with_backend` implements the shared
+``"rtl" | "fast" | "auto"`` dispatch, where ``auto`` cross-validates the
+two backends on small instances and trusts the fast one above
+:data:`AUTO_VALIDATE_LIMIT`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Iterable
+import heapq
+from typing import Any, Callable, Iterable
 
 __all__ = [
     "Register",
@@ -35,11 +53,34 @@ __all__ = [
     "ArrayStats",
     "RunReport",
     "SystolicError",
+    "BackendMismatch",
+    "TraceEvent",
+    "EventBus",
+    "TraceSink",
+    "SystolicMachine",
+    "BACKENDS",
+    "AUTO_VALIDATE_LIMIT",
+    "normalize_backend",
+    "run_with_backend",
+    "finalize_report",
 ]
+
+#: Recognized execution backends (see :func:`run_with_backend`).
+BACKENDS = ("rtl", "fast", "auto")
+
+#: ``backend="auto"`` cross-validates fast against RTL whenever the
+#: instance's serial-op count is at most this; larger instances run the
+#: fast backend alone (the RTL run would dominate wall time, which is
+#: the point of having a fast backend).
+AUTO_VALIDATE_LIMIT = 4096
 
 
 class SystolicError(RuntimeError):
     """Raised for schedule violations inside an array simulation."""
+
+
+class BackendMismatch(SystolicError):
+    """Raised when ``backend="auto"`` finds RTL and fast disagreeing."""
 
 
 class Register:
@@ -126,6 +167,103 @@ class ProcessingElement:
             r.latch()
 
 
+# ----------------------------------------------------------------------
+# Typed trace bus
+# ----------------------------------------------------------------------
+
+#: Event kinds carried on the bus.  ``op`` is a shift-multiply-accumulate
+#: slot, ``shift`` a pure data movement, ``broadcast`` a bus placement,
+#: ``io`` a port transfer, ``phase`` a control-phase change.
+TRACE_KINDS = ("op", "shift", "broadcast", "io", "phase")
+
+#: Kinds that occupy a PE for a tick, i.e. that belong in a space-time
+#: diagram cell.  ``io`` and ``phase`` are array-level bookkeeping.
+CELL_KINDS = frozenset({"op", "shift", "broadcast"})
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One typed event on a machine's trace bus.
+
+    ``tick`` is 1-based (the paper's iteration numbering).  ``pe`` is the
+    PE index, or ``-1`` for array-level events (``io`` / ``phase``).
+    ``phase`` is the control phase the event occurred in (0 when the
+    design has no phase structure).
+    """
+
+    tick: int
+    pe: int
+    kind: str
+    label: str
+    phase: int = 0
+
+    def as_cell(self) -> tuple[int, int, str]:
+        """Legacy ``(tick, pe, label)`` form used by space-time grids."""
+        return (self.tick, self.pe, self.label)
+
+
+class EventBus:
+    """Pluggable sink fan-out for :class:`TraceEvent` streams.
+
+    Emission is a no-op while no sink is subscribed, so instrumented
+    simulators pay nothing when tracing is off (guard hot paths with
+    :attr:`active` to skip even event construction).
+    """
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self) -> None:
+        self._sinks: list[Callable[[TraceEvent], None]] = []
+
+    @property
+    def active(self) -> bool:
+        """True when at least one sink is subscribed."""
+        return bool(self._sinks)
+
+    def subscribe(self, sink: Callable[[TraceEvent], None]) -> Callable[[], None]:
+        """Attach ``sink``; returns a zero-argument unsubscribe callable."""
+        self._sinks.append(sink)
+
+        def unsubscribe() -> None:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+        return unsubscribe
+
+    def emit(self, event: TraceEvent) -> None:
+        """Deliver ``event`` to every subscribed sink."""
+        for sink in self._sinks:
+            sink(event)
+
+
+class TraceSink:
+    """The built-in collecting sink: stores every event, in emit order."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def __call__(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """Every collected event, including ``io`` and ``phase``."""
+        return tuple(self._events)
+
+    def cell_events(self) -> tuple[TraceEvent, ...]:
+        """Only the PE-occupying events (``op``/``shift``/``broadcast``)."""
+        return tuple(e for e in self._events if e.kind in CELL_KINDS and e.pe >= 0)
+
+    def legacy(self) -> tuple[tuple[int, int, str], ...]:
+        """Cell events as ``(tick, pe, label)`` tuples (pre-bus format)."""
+        return tuple(e.as_cell() for e in self.cell_events())
+
+
+# ----------------------------------------------------------------------
+# Measurement records
+# ----------------------------------------------------------------------
+
+
 @dataclasses.dataclass
 class ArrayStats:
     """Mutable counters an array accumulates while running."""
@@ -147,6 +285,10 @@ class RunReport:
     ----------
     design:
         Name of the array design (``"fig3-pipelined"`` …).
+    backend:
+        Execution backend that produced the record: ``"rtl"`` for the
+        cycle-accurate machine, ``"fast"`` for the vectorized backend
+        (whose counters are closed forms of the same schedule).
     num_pes:
         PEs instantiated.
     iterations:
@@ -178,10 +320,22 @@ class RunReport:
     input_words: int
     output_words: int
     broadcast_words: int
+    backend: str = "rtl"
 
     @property
     def total_ops(self) -> int:
         return int(sum(self.pe_op_counts))
+
+    @property
+    def is_empty(self) -> bool:
+        """Explicit empty-run marker: no schedule or no PEs.
+
+        Utilization ratios are undefined for such runs; rather than
+        propagating NaN into JSON exports and benchmark aggregation,
+        :attr:`processor_utilization` and :attr:`busy_fraction` return
+        0.0 and this flag records *why*.
+        """
+        return self.iterations == 0 or self.num_pes == 0 or self.wall_ticks == 0
 
     @property
     def processor_utilization(self) -> float:
@@ -190,16 +344,19 @@ class RunReport:
         This is the paper's PU definition ("ratio of the number of serial
         iterations to the product of the number of parallel iterations
         and the number of processors"), using measured quantities.
+        Returns 0.0 for empty runs (see :attr:`is_empty`).
         """
         denom = self.iterations * self.num_pes
-        return self.serial_ops / denom if denom else float("nan")
+        return self.serial_ops / denom if denom else 0.0
 
     @property
     def busy_fraction(self) -> float:
-        """Mean fraction of wall ticks each PE spent busy."""
-        if self.wall_ticks == 0 or self.num_pes == 0:
-            return float("nan")
-        return sum(self.pe_busy_ticks) / (self.wall_ticks * self.num_pes)
+        """Mean fraction of wall ticks each PE spent busy.
+
+        Returns 0.0 for empty runs (see :attr:`is_empty`).
+        """
+        denom = self.wall_ticks * self.num_pes
+        return sum(self.pe_busy_ticks) / denom if denom else 0.0
 
 
 def finalize_report(
@@ -209,6 +366,7 @@ def finalize_report(
     *,
     iterations: int,
     serial_ops: int,
+    backend: str = "rtl",
 ) -> RunReport:
     """Assemble the immutable :class:`RunReport` from live simulation state."""
     pes = list(pes)
@@ -223,4 +381,253 @@ def finalize_report(
         input_words=stats.input_words,
         output_words=stats.output_words,
         broadcast_words=stats.broadcast_words,
+        backend=backend,
     )
+
+
+# ----------------------------------------------------------------------
+# The shared simulation machine
+# ----------------------------------------------------------------------
+
+
+class SystolicMachine:
+    """The clocked simulation machine all array designs run on.
+
+    The machine owns what used to be duplicated per design:
+
+    * the **clock** — a 1-based tick counter, the latch-all at every
+      edge (:meth:`end_tick`), and the distinction between a *counted*
+      tick and a latch-only control action such as Fig. 3's MOVE
+      (``end_tick(advance=False)``);
+    * **phase accounting with per-hop control delay** — control signals
+      (ODD, MOVE, FIRST) enter at P₁ and propagate ``hop_delay`` ticks
+      per PE, so phase ``p`` reaches PE ``i`` at
+      ``phase_start + i·hop_delay``; :meth:`overlapped_tick` turns a
+      (PE, local step) pair into the overlapped-schedule tick that
+      space-time diagrams use;
+    * a **deferred-delivery queue** (:meth:`after` / :meth:`start_tick`)
+      for feedback buses and other signals that arrive a fixed number of
+      ticks after being driven (the Fig. 5 feedback controller);
+    * the **I/O counters** (:meth:`read_input` / :meth:`write_output` /
+      :meth:`put_on_bus`), which also publish ``io``/``broadcast``
+      events; and
+    * the **event bus** — every emission goes through :meth:`emit`,
+      which is free when no sink is subscribed.
+
+    A design builds its PEs with :meth:`add_pes`, drives its schedule by
+    staging register writes and calling :meth:`end_tick`, and closes
+    with :meth:`finalize` to obtain the uniform :class:`RunReport`.
+    """
+
+    def __init__(
+        self,
+        design: str,
+        *,
+        record_trace: bool = False,
+        hop_delay: int = 1,
+    ):
+        if hop_delay < 0:
+            raise SystolicError("hop_delay must be nonnegative")
+        self.design = design
+        self.hop_delay = hop_delay
+        self.pes: list[ProcessingElement] = []
+        self.stats = ArrayStats()
+        self.bus = EventBus()
+        self.trace: TraceSink | None = None
+        if record_trace:
+            self.trace = TraceSink()
+            self.bus.subscribe(self.trace)
+        self.tick = 1  # the tick currently being simulated (1-based)
+        self.phase = -1  # index of the current control phase
+        self.phase_start = 0  # overlapped-tick origin of the current phase
+        self._pending: list[tuple[int, int, Callable[[], None]]] = []
+        self._pending_seq = 0
+
+    # -- construction ---------------------------------------------------
+    def add_pes(self, n: int) -> list[ProcessingElement]:
+        """Append ``n`` fresh PEs; returns the full PE list."""
+        base = len(self.pes)
+        self.pes.extend(ProcessingElement(base + i) for i in range(n))
+        return self.pes
+
+    # -- event emission -------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        """True when at least one sink listens (guard for hot paths)."""
+        return self.bus.active
+
+    def emit(
+        self, kind: str, pe: int, label: str, *, tick: int | None = None
+    ) -> None:
+        """Publish one typed event (no-op without subscribed sinks)."""
+        if self.bus.active:
+            if kind not in TRACE_KINDS:
+                raise SystolicError(f"unknown trace-event kind {kind!r}")
+            self.bus.emit(
+                TraceEvent(
+                    tick=self.tick if tick is None else tick,
+                    pe=pe,
+                    kind=kind,
+                    label=label,
+                    phase=max(self.phase, 0),
+                )
+            )
+
+    # -- phase / control-signal accounting ------------------------------
+    def begin_phase(self, label: str | None = None, *, start: int | None = None) -> int:
+        """Enter the next control phase.
+
+        ``start`` pins the overlapped-tick origin of the phase (Fig. 3's
+        phases start every ``m`` ticks); by default the phase starts at
+        the current tick.  Emits a ``phase`` event and returns the new
+        phase index.
+        """
+        self.phase += 1
+        self.phase_start = (self.tick - 1) if start is None else start
+        self.emit(
+            "phase", -1, label if label is not None else f"phase{self.phase}",
+            tick=self.phase_start + 1,
+        )
+        return self.phase
+
+    def overlapped_tick(self, pe: int, step: int) -> int:
+        """Overlapped-schedule tick of local ``step`` at PE ``pe``.
+
+        The control signal that opens the current phase reaches PE ``i``
+        after ``i·hop_delay`` ticks, so PE ``i`` executes its local step
+        ``s`` at ``phase_start + i·hop_delay + s`` (1-based).
+        """
+        return self.phase_start + pe * self.hop_delay + step + 1
+
+    # -- deferred delivery (feedback/control buses) ----------------------
+    def after(self, delay: int, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run at the start of tick ``tick+delay``.
+
+        ``delay`` counts from the current tick counter; ``delay=0`` runs
+        at the next :meth:`start_tick` (used when the driving edge has
+        already been latched, e.g. a feedback bus loaded from post-latch
+        state that must arrive one iteration after the drive).
+        """
+        if delay < 0:
+            raise SystolicError("deferred actions cannot run in the past")
+        self._pending_seq += 1
+        heapq.heappush(self._pending, (self.tick + delay, self._pending_seq, action))
+
+    def start_tick(self) -> None:
+        """Run deferred actions due at the current tick (call at tick top)."""
+        while self._pending and self._pending[0][0] <= self.tick:
+            _due, _seq, action = heapq.heappop(self._pending)
+            action()
+
+    # -- the clock -------------------------------------------------------
+    def end_tick(self, *, advance: bool = True) -> None:
+        """Clock edge: latch every PE; count the tick unless ``advance=False``.
+
+        ``advance=False`` models control actions that latch registers
+        without consuming an iteration slot (Fig. 3's MOVE).
+        """
+        for pe in self.pes:
+            pe.end_tick()
+        if advance:
+            self.stats.record_tick()
+            self.tick += 1
+
+    def latch(self) -> None:
+        """Latch-only edge (``end_tick(advance=False)``)."""
+        self.end_tick(advance=False)
+
+    # -- I/O accounting --------------------------------------------------
+    def read_input(
+        self, words: int = 1, *, pe: int = -1, label: str | None = None,
+        tick: int | None = None,
+    ) -> None:
+        """Count ``words`` entering through I/O ports (emits an ``io`` event)."""
+        self.stats.input_words += words
+        if self.bus.active:
+            self.emit("io", pe, label if label is not None else f"in:{words}", tick=tick)
+
+    def write_output(
+        self, words: int = 1, *, pe: int = -1, label: str | None = None,
+        tick: int | None = None,
+    ) -> None:
+        """Count ``words`` leaving through I/O ports (emits an ``io`` event)."""
+        self.stats.output_words += words
+        if self.bus.active:
+            self.emit("io", pe, label if label is not None else f"out:{words}", tick=tick)
+
+    def put_on_bus(
+        self, words: int = 1, *, label: str | None = None, tick: int | None = None
+    ) -> None:
+        """Count ``words`` placed on a broadcast bus (array-level event).
+
+        Emits a ``broadcast`` event with ``pe = -1``: the bus belongs to
+        the array, not a PE, so the event never occupies a space-time
+        cell (see :data:`CELL_KINDS` filtering on the PE index).
+        """
+        self.stats.broadcast_words += words
+        if self.bus.active:
+            self.emit(
+                "broadcast", -1,
+                label if label is not None else f"bus:{words}", tick=tick,
+            )
+
+    # -- teardown --------------------------------------------------------
+    def trace_events(self) -> tuple[TraceEvent, ...]:
+        """All events the built-in sink collected (empty without tracing)."""
+        return self.trace.events if self.trace is not None else ()
+
+    def legacy_trace(self) -> tuple[tuple[int, int, str], ...]:
+        """Cell events in the legacy ``(tick, pe, label)`` form."""
+        return self.trace.legacy() if self.trace is not None else ()
+
+    def finalize(self, *, iterations: int, serial_ops: int) -> RunReport:
+        """Assemble the uniform :class:`RunReport` for this run."""
+        return finalize_report(
+            self.design,
+            self.pes,
+            self.stats,
+            iterations=iterations,
+            serial_ops=serial_ops,
+            backend="rtl",
+        )
+
+
+# ----------------------------------------------------------------------
+# Backend dispatch
+# ----------------------------------------------------------------------
+
+
+def normalize_backend(backend: str | None, default: str = "rtl") -> str:
+    """Validate a backend name; ``None`` resolves to ``default``."""
+    resolved = default if backend is None else backend
+    if resolved not in BACKENDS:
+        raise SystolicError(
+            f"unknown backend {resolved!r}; expected one of {BACKENDS}"
+        )
+    return resolved
+
+
+def run_with_backend(
+    backend: str,
+    *,
+    work: int,
+    rtl: Callable[[], Any],
+    fast: Callable[[], Any],
+    validate: Callable[[Any, Any], None],
+    validate_limit: int = AUTO_VALIDATE_LIMIT,
+):
+    """Shared ``rtl | fast | auto`` dispatch used by every array design.
+
+    ``work`` is the instance's serial-op count.  ``auto`` always returns
+    the fast result; below ``validate_limit`` it additionally runs the
+    RTL backend and calls ``validate(rtl_result, fast_result)``, which
+    must raise :class:`BackendMismatch` on disagreement.
+    """
+    if backend == "rtl":
+        return rtl()
+    if backend == "fast":
+        return fast()
+    fast_result = fast()
+    if work <= validate_limit:
+        validate(rtl(), fast_result)
+    return fast_result

@@ -24,6 +24,8 @@ Architecture (paper Section 3.2, Figure 5):
   for the next stage.  The bus value is also usable combinationally in
   the arrival tick (the paper's walkthrough computes with a value "fed
   back" in the same iteration), which the simulator honours via a bypass.
+  The RTL backend models the one-iteration bus latency with the
+  machine's deferred-delivery queue (:meth:`SystolicMachine.after`).
 * The final ``m`` iterations set ``F = 0`` and circulate a dummy token
   that folds ``min_i H_i`` — the optimum — completing at iteration
   ``(N+1)·m`` exactly.
@@ -33,6 +35,12 @@ whose candidate last improved it (the winning predecessor); ``P_m``
 stores it in the stage's *path register* as the pair completes, and the
 run traces the registers back into a full :class:`~repro.graphs.StagePath`
 — the paper's ``N`` path registers of ``m`` indices each.
+
+The fast backend materializes each layer's cost matrix and performs the
+stage recurrence ``h_k = h_{k-1} ⊗ C_{k-1}`` as one whole-array semiring
+reduction per stage (with ``add_argreduce`` standing in for the path
+registers), then reports the schedule's closed-form counters: the same
+``(N+1)·m`` iterations, ``(N−1)·m² + m`` serial ops, and bus traffic.
 """
 
 from __future__ import annotations
@@ -44,7 +52,15 @@ import numpy as np
 
 from ..graphs import NodeValueProblem, StagePath
 from ..semiring import MIN_PLUS, Semiring
-from .fabric import ArrayStats, ProcessingElement, RunReport, SystolicError, finalize_report
+from .fabric import (
+    BackendMismatch,
+    RunReport,
+    SystolicError,
+    SystolicMachine,
+    TraceEvent,
+    normalize_backend,
+    run_with_backend,
+)
 
 __all__ = ["FeedbackArrayResult", "FeedbackSystolicArray", "feedback_pu"]
 
@@ -71,6 +87,8 @@ class FeedbackArrayResult:
     #: (iteration, pe index, label) events when ``record_trace`` was set;
     #: feeds :func:`repro.systolic.spacetime.render_spacetime`.
     trace: tuple[tuple[int, int, str], ...] = ()
+    #: The full typed event stream from the machine's trace bus.
+    events: tuple[TraceEvent, ...] = ()
 
 
 def feedback_pu(num_stages: int, m: int) -> float:
@@ -85,13 +103,18 @@ class FeedbackSystolicArray:
 
     design_name = "fig5-feedback"
 
-    def __init__(self, semiring: Semiring = MIN_PLUS):
+    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl"):
         if semiring.add_argreduce is None:
             raise SystolicError("feedback array needs an arg-reduction for traceback")
         self.sr = semiring
+        self.backend = normalize_backend(backend)
 
     def run(
-        self, problem: NodeValueProblem, *, record_trace: bool = False
+        self,
+        problem: NodeValueProblem,
+        *,
+        record_trace: bool = False,
+        backend: str | None = None,
     ) -> FeedbackArrayResult:
         """Run the array on a node-value problem with uniform stage width.
 
@@ -102,6 +125,10 @@ class FeedbackSystolicArray:
         PE activity is captured for space-time rendering: ``x{k},{j}``
         for a moving stage value, ``F0`` for the final comparison sweep,
         ``-`` for a stage-1 pass-through.
+
+        ``backend`` selects RTL simulation, the vectorized fast path, or
+        ``"auto"`` cross-validation; ``record_trace=True`` always runs
+        RTL (tracing is cycle-level).
         """
         sr = self.sr
         if problem.semiring.name != sr.name:
@@ -111,18 +138,60 @@ class FeedbackSystolicArray:
                 "the Fig. 5 array requires a uniform number of quantized values "
                 f"per stage; got sizes {problem.stage_sizes}"
             )
+        resolved = normalize_backend(backend, self.backend)
+        if record_trace:
+            resolved = "rtl"
         n_stages = problem.num_stages
         m = problem.stage_sizes[0]
+        work = (n_stages - 1) * m * m + m
+        return run_with_backend(
+            resolved,
+            work=work,
+            rtl=lambda: self._run_rtl(problem, n_stages, m, record_trace=record_trace),
+            fast=lambda: self._run_fast(problem, n_stages, m),
+            validate=self._validate,
+        )
+
+    def _validate(self, rtl: FeedbackArrayResult, fast: FeedbackArrayResult) -> None:
+        ok = (
+            np.isclose(rtl.optimum, fast.optimum, equal_nan=True)
+            and np.allclose(
+                np.asarray(rtl.final_stage_values),
+                np.asarray(fast.final_stage_values),
+                equal_nan=True,
+            )
+            and rtl.path.nodes == fast.path.nodes
+            and rtl.report.iterations == fast.report.iterations
+            and rtl.report.serial_ops == fast.report.serial_ops
+        )
+        if not ok:
+            raise BackendMismatch(
+                f"{self.design_name}: rtl/fast disagree "
+                f"(rtl optimum {rtl.optimum!r}, fast optimum {fast.optimum!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # RTL backend
+    # ------------------------------------------------------------------
+    def _run_rtl(
+        self,
+        problem: NodeValueProblem,
+        n_stages: int,
+        m: int,
+        *,
+        record_trace: bool = False,
+    ) -> FeedbackArrayResult:
+        sr = self.sr
         f: Callable[[float, float], float] = lambda a, b: float(
             problem.edge_cost(np.asarray(a), np.asarray(b))
         )
 
-        pes = [ProcessingElement(i) for i in range(m)]
+        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        pes = machine.add_pes(m)
         for pe in pes:
             pe.reg("PAIR", None)  # moving slot (R of the paper + its h/arg)
             pe.reg("K", None)  # stationary predecessor value
             pe.reg("H", None)  # stationary predecessor prefix cost
-        stats = ArrayStats()
 
         # Input stream: stage-1 values ride through with h = 1̄ (= 0 cost
         # prefix); stages 2..N enter with fresh h = 0̄ (= ∞); the final m
@@ -148,20 +217,24 @@ class FeedbackSystolicArray:
         final_h = [sr.zero] * m
         optimum: float | None = None
         best_final_index = -1
-        feedback: tuple[int, float, float] | None = None  # (target pe, x, h)
-        trace: list[tuple[int, int, str]] = []
+        # Combinational bypass of the feedback bus: values delivered this
+        # iteration are visible before the latch (paper's walkthrough).
+        bypass: dict[int, tuple[float, float]] = {}
 
-        for it in range(1, total_iterations + 1):
-            # Deliver feedback scheduled to arrive this iteration; it is
-            # latched at the tick edge but visible combinationally now.
-            bypass: dict[int, tuple[float, float]] = {}
-            if feedback is not None:
-                tgt, fx, fh = feedback
+        def deliver(tgt: int, fx: float, fh: float) -> Callable[[], None]:
+            def action() -> None:
                 bypass[tgt] = (fx, fh)
                 pes[tgt]["K"].set(fx)
                 pes[tgt]["H"].set(fh)
-                stats.broadcast_words += 2
-                feedback = None
+                machine.put_on_bus(2, label=f"fb:P{tgt + 1}")
+
+            return action
+
+        for it in range(1, total_iterations + 1):
+            bypass.clear()
+            # Deliver feedback scheduled to arrive this iteration; it is
+            # latched at the tick edge but visible combinationally now.
+            machine.start_tick()
 
             # Moving pairs advance one PE per iteration; PE i processes
             # the pair arriving from PE i-1 (or the input stream).
@@ -170,28 +243,28 @@ class FeedbackSystolicArray:
                 if i == 0:
                     pair = stream(it)
                     if pair is not None and pair.stage <= n_stages:
-                        stats.input_words += 1
+                        machine.stats.input_words += 1
                 else:
                     pair = pes[i - 1]["PAIR"].value
                 if pair is None:
                     pe["PAIR"].set(None)
                     continue
-                if record_trace:
-                    if pair.stage > n_stages:
-                        label = "F0"
-                    elif pair.stage == 1:
-                        label = "-"
-                    else:
-                        label = f"x{pair.stage},{pair.index}"
-                    trace.append((it, i, label))
                 if i in bypass:
                     k_val, h_val = bypass[i]
                 else:
                     k_val, h_val = pe["K"].value, pe["H"].value
                 if pair.stage == 1 or k_val is None:
                     # Stage-1 transit (or PE not yet armed): pure shift.
+                    if machine.tracing:
+                        label = "F0" if pair.stage > n_stages else (
+                            "-" if pair.stage == 1 else f"x{pair.stage},{pair.index}"
+                        )
+                        machine.emit("shift", i, label)
                     pe["PAIR"].set(pair)
                     continue
+                if machine.tracing:
+                    label = "F0" if pair.stage > n_stages else f"x{pair.stage},{pair.index}"
+                    machine.emit("op", i, label)
                 if pair.stage <= n_stages:
                     cand = sr.scalar_mul(h_val, f(k_val, pair.x))
                 else:
@@ -210,25 +283,23 @@ class FeedbackSystolicArray:
                 )
 
             # Tick edge: latch registers, advance the clock.
-            for pe in pes:
-                pe.end_tick()
-            stats.record_tick()
+            machine.end_tick()
 
             # The pair now resident in P_m just completed its traversal:
             # schedule its feedback and record path/answers.
             done = pes[m - 1]["PAIR"].value
             if done is not None:
                 if done.stage <= n_stages:
-                    feedback = (done.index - 1, done.x, done.h)
+                    machine.after(0, deliver(done.index - 1, done.x, done.h))
                 if 2 <= done.stage <= n_stages:
                     path_registers[done.stage][done.index - 1] = done.arg
                 if done.stage == n_stages:
                     final_h[done.index - 1] = done.h
-                    stats.output_words += 1
+                    machine.stats.output_words += 1
                 if done.stage == n_stages + 1 and optimum is None:
                     optimum = done.h
                     best_final_index = done.arg
-                    stats.output_words += 1
+                    machine.stats.output_words += 1
 
         if optimum is None:
             raise SystolicError("schedule ended before the final sweep completed")
@@ -240,17 +311,65 @@ class FeedbackSystolicArray:
         path = StagePath(nodes=tuple(nodes), cost=float(optimum))
 
         serial_ops = (n_stages - 1) * m * m + m
-        report = finalize_report(
-            self.design_name,
-            pes,
-            stats,
-            iterations=total_iterations,
-            serial_ops=serial_ops,
-        )
+        report = machine.finalize(iterations=total_iterations, serial_ops=serial_ops)
         return FeedbackArrayResult(
             optimum=float(optimum),
             path=path,
             final_stage_values=sr.asarray(final_h),
             report=report,
-            trace=tuple(trace),
+            trace=machine.legacy_trace(),
+            events=machine.trace_events(),
+        )
+
+    # ------------------------------------------------------------------
+    # Fast backend
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self, problem: NodeValueProblem, n_stages: int, m: int
+    ) -> FeedbackArrayResult:
+        sr = self.sr
+        # Stage recurrence: h_1 = 1̄; h_k[j] = ⊕_i h_{k-1}[i] ⊗ C[i, j].
+        # The argreduce along the predecessor axis is exactly the path
+        # register: the first PE index achieving the folded optimum, the
+        # same tie-break as the moving pair's strict-improvement update.
+        h = np.full(m, sr.one, dtype=float)
+        preds: dict[int, np.ndarray] = {}
+        for k in range(2, n_stages + 1):
+            cand = sr.mul(h[:, None], problem.cost_matrix(k - 2))
+            preds[k] = np.asarray(sr.add_argreduce(cand, axis=0), dtype=np.intp)
+            h = sr.add_reduce(cand, axis=0)
+        final_h = sr.asarray(h)
+        optimum = float(sr.add_reduce(h))
+        best_final_index = int(sr.add_argreduce(h))
+
+        nodes = [0] * n_stages
+        nodes[n_stages - 1] = best_final_index
+        for k in range(n_stages, 1, -1):
+            nodes[k - 2] = int(preds[k][nodes[k - 1]])
+        path = StagePath(nodes=tuple(nodes), cost=optimum)
+
+        total_iterations = (n_stages + 1) * m
+        serial_ops = (n_stages - 1) * m * m + m
+        # Every PE serves all m pairs of stages 2..N; of the final F = 0
+        # sweep, pair j reaches PE i only while N·m + j + i ≤ (N+1)·m,
+        # i.e. PE i sees m − i of them before the schedule ends.
+        ops = tuple((n_stages - 1) * m + (m - i) for i in range(m))
+        report = RunReport(
+            design=self.design_name,
+            num_pes=m,
+            iterations=total_iterations,
+            wall_ticks=total_iterations,
+            pe_busy_ticks=ops,
+            pe_op_counts=ops,
+            serial_ops=serial_ops,
+            input_words=n_stages * m,
+            output_words=m + 1,
+            broadcast_words=2 * n_stages * m,
+            backend="fast",
+        )
+        return FeedbackArrayResult(
+            optimum=optimum,
+            path=path,
+            final_stage_values=final_h,
+            report=report,
         )

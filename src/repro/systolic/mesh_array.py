@@ -21,6 +21,11 @@ than abstract ``T₁`` rounds:
 
 Rectangular operands (``n × k`` times ``k × m``) are supported with an
 ``n × m`` mesh and schedule length ``n + m + k − 2``.
+
+The RTL backend runs on :class:`~repro.systolic.fabric.SystolicMachine`
+(with ``record_trace`` publishing an ``op`` event per PE meeting); the
+fast backend is one call to the blocked :func:`repro.semiring.matmul`
+plus the schedule's closed-form counters.
 """
 
 from __future__ import annotations
@@ -30,7 +35,15 @@ import dataclasses
 import numpy as np
 
 from ..semiring import MIN_PLUS, Semiring, matmul
-from .fabric import ArrayStats, ProcessingElement, RunReport, SystolicError, finalize_report
+from .fabric import (
+    BackendMismatch,
+    RunReport,
+    SystolicError,
+    SystolicMachine,
+    TraceEvent,
+    normalize_backend,
+    run_with_backend,
+)
 
 __all__ = ["MeshArrayResult", "MeshMatrixMultiplier", "mesh_cycles"]
 
@@ -51,6 +64,12 @@ class MeshArrayResult:
 
     value: np.ndarray  # the product matrix
     report: RunReport
+    #: (tick, pe, label) cell events when ``record_trace`` was requested;
+    #: PE (i, j) is flattened to index ``i·m + j`` and labels name the
+    #: inner index met that tick (``k<kk>``).
+    trace: tuple[tuple[int, int, str], ...] = ()
+    #: The full typed event stream from the machine's trace bus.
+    events: tuple[TraceEvent, ...] = ()
 
 
 class MeshMatrixMultiplier:
@@ -58,15 +77,25 @@ class MeshMatrixMultiplier:
 
     design_name = "mesh-matmul"
 
-    def __init__(self, semiring: Semiring = MIN_PLUS):
+    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl"):
         self.sr = semiring
+        self.backend = normalize_backend(backend)
 
-    def run(self, a: np.ndarray, b: np.ndarray) -> MeshArrayResult:
+    def run(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        record_trace: bool = False,
+        backend: str | None = None,
+    ) -> MeshArrayResult:
         """Multiply ``a ⊗ b`` on an ``n × m`` mesh of PEs.
 
         Validated cell-for-cell against the vectorized
         :func:`repro.semiring.matmul` by the tests; the report's
-        ``wall_ticks`` equals :func:`mesh_cycles`.
+        ``wall_ticks`` equals :func:`mesh_cycles`.  ``backend`` selects
+        RTL simulation, the vectorized fast path, or ``"auto"``
+        cross-validation; ``record_trace=True`` always runs RTL.
         """
         sr = self.sr
         a = sr.asarray(a)
@@ -77,14 +106,47 @@ class MeshMatrixMultiplier:
         k2, m = b.shape
         if k != k2:
             raise SystolicError(f"inner dimensions differ: {a.shape} x {b.shape}")
+        resolved = normalize_backend(backend, self.backend)
+        if record_trace:
+            resolved = "rtl"
+        return run_with_backend(
+            resolved,
+            work=n * k * m,
+            rtl=lambda: self._run_rtl(a, b, n, k, m, record_trace=record_trace),
+            fast=lambda: self._run_fast(a, b, n, k, m),
+            validate=self._validate,
+        )
 
-        pes = [[ProcessingElement(i * m + j) for j in range(m)] for i in range(n)]
+    def _validate(self, rtl: MeshArrayResult, fast: MeshArrayResult) -> None:
+        if not np.allclose(rtl.value, fast.value, equal_nan=True) or (
+            rtl.report.iterations,
+            rtl.report.wall_ticks,
+            rtl.report.serial_ops,
+        ) != (fast.report.iterations, fast.report.wall_ticks, fast.report.serial_ops):
+            raise BackendMismatch(f"{self.design_name}: rtl/fast disagree")
+
+    # ------------------------------------------------------------------
+    # RTL backend
+    # ------------------------------------------------------------------
+    def _run_rtl(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        n: int,
+        k: int,
+        m: int,
+        *,
+        record_trace: bool = False,
+    ) -> MeshArrayResult:
+        sr = self.sr
+        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        machine.add_pes(n * m)
+        pes = [[machine.pes[i * m + j] for j in range(m)] for i in range(n)]
         for row in pes:
             for pe in row:
                 pe.reg("C", sr.zero)  # stationary accumulator
                 pe.reg("A", None)  # eastbound operand slot
                 pe.reg("B", None)  # southbound operand slot
-        stats = ArrayStats()
 
         total = mesh_cycles(n, k, m)
         for t in range(total):
@@ -97,14 +159,14 @@ class MeshMatrixMultiplier:
                         kk = t - i  # diagonal skew of row i
                         a_in = float(a[i, kk]) if 0 <= kk < k else None
                         if a_in is not None:
-                            stats.input_words += 1
+                            machine.stats.input_words += 1
                     else:
                         a_in = pes[i][j - 1]["A"].value
                     if i == 0:
                         kk = t - j
                         b_in = float(b[kk, j]) if 0 <= kk < k else None
                         if b_in is not None:
-                            stats.input_words += 1
+                            machine.stats.input_words += 1
                     else:
                         b_in = pes[i - 1][j]["B"].value
                     if a_in is not None and b_in is not None:
@@ -112,23 +174,42 @@ class MeshMatrixMultiplier:
                             sr.scalar_add(pe["C"].value, sr.scalar_mul(a_in, b_in))
                         )
                         pe.count_op()
+                        machine.emit("op", pe.index, f"k{t - i - j + 1}")
                     pe["A"].set(a_in)
                     pe["B"].set(b_in)
-            for row in pes:
-                for pe in row:
-                    pe.end_tick()
-            stats.record_tick()
+            machine.end_tick()
 
         out = sr.asarray(
             [[pes[i][j]["C"].value for j in range(m)] for i in range(n)]
         )
-        stats.output_words += out.size
-        flat = [pe for row in pes for pe in row]
-        report = finalize_report(
-            self.design_name,
-            flat,
-            stats,
+        machine.stats.output_words += out.size
+        report = machine.finalize(iterations=total, serial_ops=n * k * m)
+        return MeshArrayResult(
+            value=out,
+            report=report,
+            trace=machine.legacy_trace(),
+            events=machine.trace_events(),
+        )
+
+    # ------------------------------------------------------------------
+    # Fast backend
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self, a: np.ndarray, b: np.ndarray, n: int, k: int, m: int
+    ) -> MeshArrayResult:
+        out = matmul(self.sr, a, b)
+        total = mesh_cycles(n, k, m)
+        report = RunReport(
+            design=self.design_name,
+            num_pes=n * m,
             iterations=total,
+            wall_ticks=total,
+            pe_busy_ticks=(k,) * (n * m),  # every PE meets k operand pairs
+            pe_op_counts=(k,) * (n * m),
             serial_ops=n * k * m,
+            input_words=n * k + k * m,
+            output_words=n * m,
+            broadcast_words=0,
+            backend="fast",
         )
         return MeshArrayResult(value=out, report=report)

@@ -24,6 +24,15 @@ Both simulators compute the *actual* DP tables step by step (validated
 against :func:`repro.dp.solve_matrix_chain`) while measuring schedule
 length, so Propositions 2 and 3 are checked on real executions, not just
 restated.
+
+The RTL backend drives the sweep on a
+:class:`~repro.systolic.fabric.SystolicMachine` (one PE per OR-node);
+the fast backend runs a vectorized per-diagonal DP — one NumPy reduction
+across all same-span subproblems per split offset — plus a per-span
+greedy schedule (:func:`repro.systolic.triangular.greedy_completion`):
+all same-span subproblems share one alternative-availability multiset,
+so their completion steps coincide, and the closed-form counters match
+the RTL sweep exactly.
 """
 
 from __future__ import annotations
@@ -34,6 +43,15 @@ from typing import Sequence
 import numpy as np
 
 from ..dp.matrix_chain import ChainOrder, _check_dims
+from .fabric import (
+    BackendMismatch,
+    RunReport,
+    SystolicMachine,
+    TraceEvent,
+    normalize_backend,
+    run_with_backend,
+)
+from .triangular import greedy_completion
 
 __all__ = [
     "ParenthesizationRun",
@@ -53,6 +71,12 @@ class ParenthesizationRun:
     num_processors: int  # one per OR-node: N(N-1)/2
     subproblem_completion: dict[tuple[int, int], int]  # (i, j) -> step
     alternatives_evaluated: int  # total AND-node evaluations
+    #: Uniform measurement record (one PE per OR-node; a tick per step).
+    report: RunReport | None = None
+    #: (step, pe, label) cell events when ``record_trace`` was requested.
+    trace: tuple[tuple[int, int, str], ...] = ()
+    #: The full typed event stream from the machine's trace bus.
+    events: tuple[TraceEvent, ...] = ()
 
     @property
     def per_size_completion(self) -> dict[int, int]:
@@ -111,30 +135,84 @@ class _ParenthesizerBase:
     mapping-specific (instant visibility on the broadcast buses; transfer
     delays through dummy cells on the serialized design), and is consumed
     at the first later step with spare capacity.
+
+    On cost ties between splits the RTL backend keeps the first split
+    *folded* (earliest-available, then ascending ``k``) while the fast
+    backend keeps the lowest ``k``; costs, steps and completion times
+    are identical either way.
     """
 
     design_name = "base"
     alternatives_per_step = 2
     base_time = 1  # completion step of the size-1 leaves
 
+    def __init__(self, backend: str = "rtl"):
+        self.backend = normalize_backend(backend)
+
     def _transfer_delay(self, parent_size: int, child_size: int) -> int:
         raise NotImplementedError
 
-    def run(self, dims: Sequence[int]) -> ParenthesizationRun:
+    def run(
+        self,
+        dims: Sequence[int],
+        *,
+        record_trace: bool = False,
+        backend: str | None = None,
+    ) -> ParenthesizationRun:
         """Solve eq. (6) for ``dims`` on the array; measure the schedule."""
         dims = _check_dims(dims)
         n = len(dims) - 1
+        resolved = normalize_backend(backend, self.backend)
+        if record_trace:
+            resolved = "rtl"
+        work = n * (n * n - 1) // 6  # total AND-nodes: sum of (span-1) per cell
+        return run_with_backend(
+            resolved,
+            work=work,
+            rtl=lambda: self._run_rtl(dims, n, record_trace=record_trace),
+            fast=lambda: self._run_fast(dims, n),
+            validate=self._validate,
+        )
+
+    def _validate(self, rtl: ParenthesizationRun, fast: ParenthesizationRun) -> None:
+        ok = (
+            rtl.order.cost == fast.order.cost
+            and rtl.steps == fast.steps
+            and rtl.subproblem_completion == fast.subproblem_completion
+            and rtl.alternatives_evaluated == fast.alternatives_evaluated
+        )
+        if not ok:
+            raise BackendMismatch(
+                f"{self.design_name}: rtl/fast disagree "
+                f"(rtl cost {rtl.order.cost}/{rtl.steps}, "
+                f"fast cost {fast.order.cost}/{fast.steps})"
+            )
+
+    # ------------------------------------------------------------------
+    # RTL backend
+    # ------------------------------------------------------------------
+    def _run_rtl(
+        self, dims: tuple[int, ...], n: int, *, record_trace: bool = False
+    ) -> ParenthesizationRun:
         r = np.asarray(dims, dtype=np.int64)
         m = {(i, i): 0 for i in range(1, n + 1)}
         split: dict[tuple[int, int], int] = {}
         done = {(i, i): self.base_time for i in range(1, n + 1)}
         alternatives = 0
 
+        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        for _ in range(self.base_time):  # leaves load during the base steps
+            machine.end_tick()
+        machine.read_input(len(dims), label="in:dims")
+
         # Per-subproblem pending alternatives with availability times.
         pending: dict[tuple[int, int], list[tuple[int, int]]] = {}
         for span in range(2, n + 1):
             for i in range(1, n - span + 2):
                 pending[(i, i + span - 1)] = [(0, k) for k in range(i, i + span - 1)]
+        machine.add_pes(len(pending))
+        pe_index = {key: idx for idx, key in enumerate(sorted(pending))}
+        serial_ops = sum(len(alts) for alts in pending.values())
 
         unresolved = set(pending)
         step = self.base_time
@@ -168,11 +246,17 @@ class _ParenthesizerBase:
                     else:
                         remaining.append((_prio, k))
                 pending[key] = remaining
+                if folded:
+                    machine.pes[pe_index[key]].count_op(folded)
+                    machine.emit("op", pe_index[key], f"m{i},{j}")
                 if not remaining and key in split:
                     done[key] = step
                     newly_done.append(key)
+                    if self._transfer_delay(2, 1) == 0:  # broadcast mapping
+                        machine.put_on_bus(1, label=f"bus:m{i},{j}")
             for key in newly_done:
                 unresolved.discard(key)
+            machine.end_tick()
             if step > 4 * n * n + 8:  # defensive: schedule must terminate
                 raise RuntimeError(f"{self.design_name}: schedule did not converge")
 
@@ -182,13 +266,97 @@ class _ParenthesizerBase:
             k = split[(i, j)]
             return (build(i, k), build(k + 1, j))
 
+        machine.write_output(1, label="out:cost")
         order = ChainOrder(dims=dims, expression=build(1, n), cost=int(m[(1, n)]))
+        goal_step = done[(1, n)]
         return ParenthesizationRun(
             order=order,
-            steps=done[(1, n)],
+            steps=goal_step,
             num_processors=n * (n - 1) // 2 if n > 1 else 1,
             subproblem_completion=dict(done),
             alternatives_evaluated=alternatives,
+            report=machine.finalize(iterations=goal_step, serial_ops=serial_ops),
+            trace=machine.legacy_trace(),
+            events=machine.trace_events(),
+        )
+
+    # ------------------------------------------------------------------
+    # Fast backend
+    # ------------------------------------------------------------------
+    def _run_fast(self, dims: tuple[int, ...], n: int) -> ParenthesizationRun:
+        r = np.asarray(dims, dtype=np.int64)
+        # Vectorized diagonal DP: M[i, j] over 1-based (i, j); for each
+        # span, all split offsets reduce across the whole diagonal at
+        # once (O(n) NumPy ops per span instead of O(n²) Python folds).
+        M = np.zeros((n + 2, n + 2), dtype=np.int64)
+        S = np.zeros((n + 2, n + 2), dtype=np.int64)
+        done_span = {1: self.base_time}
+        busy_span: dict[int, int] = {}
+        alternatives = 0
+        for span in range(2, n + 1):
+            i_idx = np.arange(1, n - span + 2)
+            j_idx = i_idx + span - 1
+            costs = np.empty((span - 1, i_idx.size), dtype=np.int64)
+            for off in range(span - 1):
+                k = i_idx + off
+                costs[off] = M[i_idx, k] + M[k + 1, j_idx] + r[i_idx - 1] * r[k] * r[j_idx]
+            arg = np.argmin(costs, axis=0)
+            M[i_idx, j_idx] = costs[arg, np.arange(i_idx.size)]
+            S[i_idx, j_idx] = i_idx + arg
+            # Schedule: every span-s cell shares one availability multiset
+            # (child spans off+1 and span-off-1), so one greedy run covers
+            # the whole diagonal.
+            avail = [
+                max(
+                    done_span[off + 1] + self._transfer_delay(span, off + 1),
+                    done_span[span - off - 1] + self._transfer_delay(span, span - off - 1),
+                )
+                for off in range(span - 1)
+            ]
+            done_span[span], busy_span[span] = greedy_completion(
+                avail, self.alternatives_per_step
+            )
+            alternatives += (span - 1) * i_idx.size
+
+        def build(i: int, j: int):
+            if i == j:
+                return i
+            k = int(S[i, j])
+            return (build(i, k), build(k + 1, j))
+
+        completion = {(i, i): self.base_time for i in range(1, n + 1)}
+        ops: list[int] = []
+        busy: list[int] = []
+        for span in range(2, n + 1):
+            for i in range(1, n - span + 2):
+                completion[(i, i + span - 1)] = done_span[span]
+        for (i, j) in sorted(k for k in completion if k[1] > k[0]):
+            ops.append(j - i)  # span-1 alternatives per PE
+            busy.append(busy_span[j - i + 1])
+
+        order = ChainOrder(dims=dims, expression=build(1, n), cost=int(M[1, n]))
+        goal_step = done_span.get(n, self.base_time)
+        num_pes = n * (n - 1) // 2
+        report = RunReport(
+            design=self.design_name,
+            num_pes=num_pes,
+            iterations=goal_step,
+            wall_ticks=goal_step,
+            pe_busy_ticks=tuple(busy),
+            pe_op_counts=tuple(ops),
+            serial_ops=alternatives,
+            input_words=len(dims),
+            output_words=1,
+            broadcast_words=num_pes if self._transfer_delay(2, 1) == 0 else 0,
+            backend="fast",
+        )
+        return ParenthesizationRun(
+            order=order,
+            steps=goal_step,
+            num_processors=num_pes if n > 1 else 1,
+            subproblem_completion=completion,
+            alternatives_evaluated=alternatives,
+            report=report,
         )
 
 

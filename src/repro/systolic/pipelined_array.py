@@ -22,12 +22,14 @@ Operation (paper Section 3.2):
   iteration unit is ``m`` per matrix-vector product, ``(P-1)·m`` total,
   plus an ``m-1``-tick drain for the skew.
 
-The simulation is cycle-accurate *within* each phase (two-phase
-register semantics via :mod:`repro.systolic.fabric`), and the phases are
+The RTL backend runs on :class:`~repro.systolic.fabric.SystolicMachine`:
+cycle-accurate within each phase (two-phase register semantics), phases
 stitched with the exact data hand-offs of the overlapped schedule (MOVE
-for A→B, the P_m→P_1 feedback stream for B→A), so the computed values
-and the per-PE iteration counts match the hardware exactly; wall-clock
-ticks are reported for the overlapped schedule.
+for A→B, the P_m→P_1 feedback stream for B→A), so computed values and
+per-PE iteration counts match the hardware exactly.  The fast backend
+evaluates the same string with whole-array semiring reductions
+(:func:`repro.semiring.matvec`) and reports the schedule's closed-form
+counters; ``backend="auto"`` cross-validates the two on small instances.
 """
 
 from __future__ import annotations
@@ -38,7 +40,16 @@ import numpy as np
 
 from ..graphs import MultistageGraph
 from ..semiring import MIN_PLUS, Semiring
-from .fabric import ArrayStats, ProcessingElement, RunReport, SystolicError, finalize_report
+from ..semiring.matrix import matvec
+from .fabric import (
+    BackendMismatch,
+    RunReport,
+    SystolicError,
+    SystolicMachine,
+    TraceEvent,
+    normalize_backend,
+    run_with_backend,
+)
 
 __all__ = ["PipelinedArrayResult", "PipelinedMatrixStringArray", "StreamedRunResult", "run_stream"]
 
@@ -53,6 +64,9 @@ class PipelinedArrayResult:
     #: was requested; labels are ``x<s>`` (moving input element) and
     #: ``y<s>`` (moving partial result) with the phase prefixed.
     trace: tuple[tuple[int, int, str], ...] = ()
+    #: The full typed event stream (``op``/``io``/``phase``) from the
+    #: machine's trace bus, when ``record_trace`` was requested.
+    events: tuple[TraceEvent, ...] = ()
 
 
 def _normalize_string(
@@ -96,20 +110,17 @@ class PipelinedMatrixStringArray:
 
     design_name = "fig3-pipelined"
 
-    def __init__(self, semiring: Semiring = MIN_PLUS):
+    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl"):
         self.sr = semiring
-        self._trace_sink: list[tuple[int, int, str]] | None = None
-        self._trace_phase = 0
-
-    def _emit(self, m: int, pe: int, s: int, label: str) -> None:
-        """Record an overlapped-schedule event (1-based tick)."""
-        if self._trace_sink is not None:
-            tick = self._trace_phase * m + pe + s + 1
-            self._trace_sink.append((tick, pe, f"p{self._trace_phase}:{label}"))
+        self.backend = normalize_backend(backend)
 
     # ------------------------------------------------------------------
     def run(
-        self, matrices: list[np.ndarray], *, record_trace: bool = False
+        self,
+        matrices: list[np.ndarray],
+        *,
+        record_trace: bool = False,
+        backend: str | None = None,
     ) -> PipelinedArrayResult:
         """Evaluate the matrix string right-to-left on the array.
 
@@ -121,55 +132,94 @@ class PipelinedMatrixStringArray:
         schedule's per-tick PE activity is captured for space-time
         rendering: PE ``i`` executes local step ``s`` of phase ``p`` at
         overlapped tick ``p·m + i + s``.
+
+        ``backend`` overrides the array default: ``"rtl"`` simulates the
+        clocked machine, ``"fast"`` computes the same values with
+        whole-array semiring reductions, ``"auto"`` cross-validates fast
+        against RTL on small instances.  Tracing is a cycle-level
+        feature, so ``record_trace=True`` always runs RTL.
         """
+        resolved = normalize_backend(backend, self.backend)
+        if record_trace:
+            resolved = "rtl"
+        mats, vec, m = _normalize_string(self.sr, matrices)
+        work = sum(int(mm.shape[0]) * int(mm.shape[1]) for mm in mats)
+        return run_with_backend(
+            resolved,
+            work=work,
+            rtl=lambda: self._run_rtl(mats, vec, m, record_trace=record_trace),
+            fast=lambda: self._run_fast(mats, vec, m),
+            validate=self._validate,
+        )
+
+    def _validate(self, rtl: PipelinedArrayResult, fast: PipelinedArrayResult) -> None:
+        if not np.allclose(
+            np.asarray(rtl.value), np.asarray(fast.value), equal_nan=True
+        ) or (rtl.report.iterations, rtl.report.wall_ticks, rtl.report.serial_ops) != (
+            fast.report.iterations,
+            fast.report.wall_ticks,
+            fast.report.serial_ops,
+        ):
+            raise BackendMismatch(
+                f"{self.design_name}: rtl/fast disagree "
+                f"(rtl value {rtl.value!r}, fast value {fast.value!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # RTL backend
+    # ------------------------------------------------------------------
+    def _run_rtl(
+        self,
+        mats: list[np.ndarray],
+        vec: np.ndarray,
+        m: int,
+        *,
+        record_trace: bool = False,
+    ) -> PipelinedArrayResult:
         sr = self.sr
-        mats, vec, m = _normalize_string(sr, matrices)
-        pes = [ProcessingElement(i) for i in range(m)]
+        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        pes = machine.add_pes(m)
         for pe in pes:
             pe.reg("R", sr.zero)  # moving input slot
             pe.reg("ACC", sr.zero)  # stationary result accumulator
             pe.reg("X", sr.zero)  # stationary input (after MOVE)
             pe.reg("Y", sr.zero)  # moving partial-result slot
-        stats = ArrayStats()
-        stats.input_words += m  # the initial vector v enters serially
+        machine.read_input(m, label="in:v")  # the initial vector v enters serially
 
         moving: list[float] = [float(x) for x in vec]
         scalar_result: float | None = None
         num_phases = len(mats)
         serial_ops = 0
-        trace: list[tuple[int, int, str]] = []
-        self._trace_sink = trace if record_trace else None
 
         for phase in range(num_phases):
             mat = mats[num_phases - 1 - phase]  # right-to-left product order
             mode_a = phase % 2 == 0
             is_row_vector = mat.shape[0] == 1 and m > 1
             serial_ops += mat.shape[0] * mat.shape[1]
-            self._trace_phase = phase
+            machine.begin_phase(f"p{phase}:{'A' if mode_a else 'B'}", start=phase * m)
             if is_row_vector:
                 if phase != num_phases - 1:
                     raise SystolicError("row-vector operand must be leftmost")
                 scalar_result = (
-                    self._scalar_phase_a(pes, mat, moving, stats)
+                    self._scalar_phase_a(machine, mat, moving)
                     if mode_a
-                    else self._scalar_phase_b(pes, mat, stats)
+                    else self._scalar_phase_b(machine, mat)
                 )
             elif mode_a:
-                acc = self._phase_a(pes, mat, moving, stats)
+                acc = self._phase_a(machine, mat, moving)
                 # MOVE: stationary result becomes the stationary input of
                 # the next (Mode B) phase.  A control action, not a
                 # compute iteration — no tick charged (paper Fig. 3(b)).
                 for i, pe in enumerate(pes):
                     pe["X"].set(acc[i])
-                for pe in pes:
-                    pe.end_tick()
+                machine.latch()
                 moving = []
             else:
-                moving = self._phase_b(pes, mat, stats)
+                moving = self._phase_b(machine, mat)
 
         # Pipeline drain for the skewed schedule.
         for _ in range(m - 1):
-            stats.record_tick()
+            machine.end_tick()
 
         if scalar_result is not None:
             value = sr.asarray(scalar_result)
@@ -177,20 +227,74 @@ class PipelinedMatrixStringArray:
             value = sr.asarray(moving)
         else:
             value = sr.asarray([pe["X"].value for pe in pes])
-        stats.output_words += int(np.asarray(value).size)
+        machine.write_output(int(np.asarray(value).size), label="out:f")
 
-        report = finalize_report(
-            self.design_name,
-            pes,
-            stats,
-            iterations=num_phases * m,
-            serial_ops=serial_ops,
+        report = machine.finalize(iterations=num_phases * m, serial_ops=serial_ops)
+        return PipelinedArrayResult(
+            value=value,
+            report=report,
+            trace=machine.legacy_trace(),
+            events=machine.trace_events(),
         )
-        self._trace_sink = None
-        return PipelinedArrayResult(value=value, report=report, trace=tuple(trace))
+
+    # ------------------------------------------------------------------
+    # Fast backend
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self, mats: list[np.ndarray], vec: np.ndarray, m: int
+    ) -> PipelinedArrayResult:
+        """Whole-array evaluation: right-to-left semiring mat-vec chain.
+
+        Values come from :func:`repro.semiring.matvec`; the report's
+        counters are the overlapped schedule's closed forms — ``m``
+        iterations per phase, an ``m−1``-tick drain, one input word per
+        matrix element plus the initial vector — which the cross-backend
+        fuzz suite checks against the RTL machine.
+        """
+        sr = self.sr
+        num_phases = len(mats)
+        value = np.asarray(vec)
+        for mat in reversed(mats):
+            value = matvec(sr, mat, value)
+        is_row_vector = mats[0].shape[0] == 1 and m > 1
+        if is_row_vector:
+            value = sr.asarray(float(value[0]))
+        serial_ops = sum(int(mm.shape[0]) * int(mm.shape[1]) for mm in mats)
+
+        ops = [0] * m
+        for phase in range(num_phases):
+            mat = mats[num_phases - 1 - phase]
+            if mat.shape[0] == 1 and m > 1:
+                if phase % 2 == 0:  # moving input: P1 alone does all m steps
+                    ops[0] += m
+                else:  # one moving partial visits every PE once
+                    for i in range(m):
+                        ops[i] += 1
+            else:
+                for i in range(m):
+                    ops[i] += m
+
+        report = RunReport(
+            design=self.design_name,
+            num_pes=m,
+            iterations=num_phases * m,
+            wall_ticks=num_phases * m + (m - 1),
+            pe_busy_ticks=tuple(ops),
+            pe_op_counts=tuple(ops),
+            serial_ops=serial_ops,
+            input_words=m + serial_ops,
+            output_words=int(np.asarray(value).size),
+            broadcast_words=0,
+            backend="fast",
+        )
+        return PipelinedArrayResult(value=value, report=report)
 
     def run_graph(
-        self, graph: MultistageGraph, *, record_trace: bool = False
+        self,
+        graph: MultistageGraph,
+        *,
+        record_trace: bool = False,
+        backend: str | None = None,
     ) -> PipelinedArrayResult:
         """Evaluate a single-sink multistage graph (backward formulation).
 
@@ -200,17 +304,16 @@ class PipelinedMatrixStringArray:
         """
         if graph.semiring.name != self.sr.name:
             raise SystolicError("graph and array use different semirings")
-        return self.run(graph.as_matrices(), record_trace=record_trace)
+        return self.run(graph.as_matrices(), record_trace=record_trace, backend=backend)
 
     # ------------------------------------------------------------------
-    # Phase simulations
+    # Phase simulations (RTL)
     # ------------------------------------------------------------------
     def _phase_a(
         self,
-        pes: list[ProcessingElement],
+        machine: SystolicMachine,
         mat: np.ndarray,
         moving: list[float],
-        stats: ArrayStats,
     ) -> list[float]:
         """Mode A: input shifts through R, result stationary in ACC.
 
@@ -220,13 +323,13 @@ class PipelinedMatrixStringArray:
         depicts.
         """
         sr = self.sr
+        pes = machine.pes
         m = len(pes)
         if len(moving) != m:
             raise SystolicError(f"moving stream has {len(moving)} elements, expected {m}")
         for pe in pes:
             pe["ACC"].set(sr.zero)
-        for pe in pes:
-            pe.end_tick()
+        machine.latch()
         for t in range(2 * m - 1):
             active = 0
             for i, pe in enumerate(pes):
@@ -240,19 +343,18 @@ class PipelinedMatrixStringArray:
                 pe["R"].set(x_in)
                 pe.count_op()
                 active += 1
-                self._emit(len(pes), i, s, f"x{s + 1}")
-            stats.input_words += active  # one matrix element per active PE
-            for pe in pes:
-                pe.end_tick()
-            if t < m:
-                stats.record_tick()  # overlapped schedule: m ticks per phase
+                machine.emit(
+                    "op", i, f"p{machine.phase}:x{s + 1}",
+                    tick=machine.overlapped_tick(i, s),
+                )
+            machine.stats.input_words += active  # one matrix element per active PE
+            machine.end_tick(advance=t < m)  # overlapped schedule: m ticks per phase
         return [pe["ACC"].value for pe in pes]
 
     def _phase_b(
         self,
-        pes: list[ProcessingElement],
+        machine: SystolicMachine,
         mat: np.ndarray,
-        stats: ArrayStats,
     ) -> list[float]:
         """Mode B: input stationary in X, partial results shift through Y.
 
@@ -261,6 +363,7 @@ class PipelinedMatrixStringArray:
         ``i`` of the matrix into ``P_i``) of the paper.
         """
         sr = self.sr
+        pes = machine.pes
         m = len(pes)
         out: list[float] = [sr.zero] * m
         for t in range(2 * m - 1):
@@ -276,34 +379,34 @@ class PipelinedMatrixStringArray:
                 pe["Y"].set(part_out)
                 pe.count_op()
                 active += 1
-                self._emit(len(pes), i, s, f"y{s + 1}")
-            stats.input_words += active
-            for pe in pes:
-                pe.end_tick()
+                machine.emit(
+                    "op", i, f"p{machine.phase}:y{s + 1}",
+                    tick=machine.overlapped_tick(i, s),
+                )
+            machine.stats.input_words += active
+            machine.end_tick(advance=t < m)
             s_last = t - (m - 1)
             if 0 <= s_last < m:
                 out[s_last] = pes[m - 1]["Y"].value
-            if t < m:
-                stats.record_tick()
         return out
 
     def _scalar_phase_a(
         self,
-        pes: list[ProcessingElement],
+        machine: SystolicMachine,
         row: np.ndarray,
         moving: list[float],
-        stats: ArrayStats,
     ) -> float:
         """Final row-vector product with a *moving* input: P₁ alone
         accumulates the scalar as the stream and the row elements arrive
         ("input vectors A and f(B) are shifted into P₁")."""
         sr = self.sr
+        pes = machine.pes
         m = len(pes)
         if len(moving) != m:
             raise SystolicError("moving stream width mismatch in scalar phase")
         pe = pes[0]
         pe["ACC"].set(sr.zero)
-        pe.end_tick()
+        machine.latch()
         for s in range(m):
             pe["ACC"].set(
                 sr.scalar_add(
@@ -311,22 +414,23 @@ class PipelinedMatrixStringArray:
                 )
             )
             pe.count_op()
-            self._emit(m, 0, s, f"x{s + 1}")
-            stats.input_words += 1
-            for q in pes:
-                q.end_tick()
-            stats.record_tick()
+            machine.emit(
+                "op", 0, f"p{machine.phase}:x{s + 1}",
+                tick=machine.overlapped_tick(0, s),
+            )
+            machine.stats.input_words += 1
+            machine.end_tick()
         return float(pe["ACC"].value)
 
     def _scalar_phase_b(
         self,
-        pes: list[ProcessingElement],
+        machine: SystolicMachine,
         row: np.ndarray,
-        stats: ArrayStats,
     ) -> float:
         """Final row-vector product with a *stationary* input: one moving
         partial traverses the array, gathering ``row[0, i] ⊗ x_i``."""
         sr = self.sr
+        pes = machine.pes
         m = len(pes)
         for t in range(m):
             pe = pes[t]
@@ -335,11 +439,12 @@ class PipelinedMatrixStringArray:
                 sr.scalar_add(part_in, sr.scalar_mul(float(row[0, t]), pe["X"].value))
             )
             pe.count_op()
-            self._emit(m, t, 0, "y1")
-            stats.input_words += 1
-            for q in pes:
-                q.end_tick()
-            stats.record_tick()
+            machine.emit(
+                "op", t, f"p{machine.phase}:y1",
+                tick=machine.overlapped_tick(t, 0),
+            )
+            machine.stats.input_words += 1
+            machine.end_tick()
         return float(pes[m - 1]["Y"].value)
 
 

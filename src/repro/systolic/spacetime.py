@@ -7,20 +7,44 @@ clock tick, each cell naming the datum the PE processed — so a run of
 the Fig. 5 array literally prints the schedule of the paper's
 walkthrough ("x2,1 enters P1 while x1,1 feeds back" and so on).
 
-Traces are sequences of ``(tick, pe_index, label)`` events; any
-simulator can emit them (the Fig. 5 array does when ``record_trace``
-is set).
+Traces are either legacy ``(tick, pe_index, label)`` tuples or typed
+:class:`~repro.systolic.fabric.TraceEvent` streams from a machine's
+event bus — every array design emits the latter under ``record_trace``.
+Typed streams may carry array-level bookkeeping (``io``/``phase``
+events, ``pe = -1``); only the PE-occupying cell events are drawn.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["render_spacetime", "trace_to_grid"]
+from .fabric import CELL_KINDS, TraceEvent
+
+__all__ = ["render_spacetime", "trace_to_grid", "cell_events"]
+
+
+def cell_events(
+    events: Iterable[tuple[int, int, str] | TraceEvent],
+) -> list[tuple[int, int, str]]:
+    """Normalize a mixed event stream to drawable ``(tick, pe, label)``.
+
+    :class:`TraceEvent` instances are filtered to the PE-occupying kinds
+    (``op``/``shift``/``broadcast`` with a real PE index); legacy tuples
+    pass through untouched.
+    """
+    out: list[tuple[int, int, str]] = []
+    for ev in events:
+        if isinstance(ev, TraceEvent):
+            if ev.kind in CELL_KINDS and ev.pe >= 0:
+                out.append(ev.as_cell())
+        else:
+            tick, pe, label = ev
+            out.append((int(tick), int(pe), str(label)))
+    return out
 
 
 def trace_to_grid(
-    events: Iterable[tuple[int, int, str]],
+    events: Iterable[tuple[int, int, str] | TraceEvent],
     num_pes: int,
     num_ticks: int,
     *,
@@ -31,12 +55,13 @@ def trace_to_grid(
     Ticks are 1-based (matching the paper's iteration numbering);
     multiple events on one (tick, PE) cell join with ``/`` — which is
     itself a wiring red flag the tests check never happens for the
-    shipped arrays.
+    shipped arrays.  Accepts legacy tuples and typed
+    :class:`TraceEvent` streams alike (see :func:`cell_events`).
     """
     if num_pes < 1 or num_ticks < 1:
         raise ValueError("need at least one PE and one tick")
     grid = [[idle for _ in range(num_ticks)] for _ in range(num_pes)]
-    for tick, pe, label in events:
+    for tick, pe, label in cell_events(events):
         if not 1 <= tick <= num_ticks:
             raise ValueError(f"tick {tick} outside 1..{num_ticks}")
         if not 0 <= pe < num_pes:
@@ -47,7 +72,7 @@ def trace_to_grid(
 
 
 def render_spacetime(
-    events: Iterable[tuple[int, int, str]],
+    events: Iterable[tuple[int, int, str] | TraceEvent],
     num_pes: int,
     num_ticks: int,
     *,

@@ -21,6 +21,16 @@ and provides specs for both families:
   broadcast schedule is ``T_d(n) = n + 1`` for ``n`` keys (a size-``s``
   subproblem has ``s`` alternatives over children summing to ``s − 1``),
   which :func:`obst_t_d` evaluates and the benchmarks verify.
+
+The RTL backend drives the step sweep on a
+:class:`~repro.systolic.fabric.SystolicMachine` (one PE per OR-node,
+one tick per array step, ``op`` events on the trace bus).  The fast
+backend replaces the sweep with a single bottom-up pass — NumPy
+reductions over each subproblem's alternatives plus an event-driven
+greedy schedule (:func:`greedy_completion`) that yields the identical
+completion steps, because capacity-limited folding of unit-time
+alternatives is work-conserving: any fold order gives the same per-step
+fold counts.
 """
 
 from __future__ import annotations
@@ -32,6 +42,14 @@ import numpy as np
 
 from ..dp.matrix_chain import _check_dims
 from ..dp.obst import _check_weights
+from .fabric import (
+    BackendMismatch,
+    RunReport,
+    SystolicMachine,
+    TraceEvent,
+    normalize_backend,
+    run_with_backend,
+)
 
 __all__ = [
     "TriangularSpec",
@@ -40,6 +58,7 @@ __all__ = [
     "TriangularRun",
     "TriangularArray",
     "obst_t_d",
+    "greedy_completion",
 ]
 
 
@@ -143,6 +162,36 @@ class ObstSpec(TriangularSpec):
         return (1, self.n) if self.n else (1, 0)
 
 
+def greedy_completion(avail_times: Sequence[int], capacity: int) -> tuple[int, int]:
+    """Completion step and busy-step count of one capacity-limited PE.
+
+    ``avail_times`` are the steps at which each unit-time alternative
+    becomes available (foldable from the *next* step on); the PE folds
+    at most ``capacity`` per step.  Because all alternatives take one
+    slot, every work-conserving fold order gives the same per-step fold
+    counts, so this sorted-order greedy reproduces the RTL sweep's
+    completion step and busy-step count exactly.
+    """
+    t = 0
+    used = capacity
+    busy = 0
+    for a in sorted(avail_times):
+        earliest = a + 1
+        if earliest > t:
+            t, used, busy = earliest, 1, busy + 1
+        elif used < capacity:
+            used += 1
+        else:
+            t, used, busy = t + 1, 1, busy + 1
+    return t, busy
+
+
+def _key_label(key: Hashable) -> str:
+    if isinstance(key, tuple) and len(key) == 2:
+        return f"V{key[0]},{key[1]}"
+    return f"V{key}"
+
+
 @dataclasses.dataclass(frozen=True)
 class TriangularRun:
     """Schedule measurement of a generalized triangular-array run."""
@@ -154,6 +203,12 @@ class TriangularRun:
     completion: dict[Hashable, int]
     alternatives_evaluated: int
     num_processors: int
+    #: Uniform measurement record (one PE per OR-node; a tick per step).
+    report: RunReport | None = None
+    #: (step, pe, label) cell events when ``record_trace`` was requested.
+    trace: tuple[tuple[int, int, str], ...] = ()
+    #: The full typed event stream from the machine's trace bus.
+    events: tuple[TraceEvent, ...] = ()
 
 
 class TriangularArray:
@@ -164,6 +219,11 @@ class TriangularArray:
     planar design (delay = level difference, per Figure 8).  Processors
     fold up to ``alternatives_per_step`` available alternatives per
     step, as in the paper's timing arguments for eqs. (42)-(43).
+
+    On cost ties between alternatives the RTL backend keeps the first
+    alternative *folded* (earliest-available, then spec order) while the
+    fast backend keeps the first in spec order; ``values``, ``steps``
+    and ``completion`` are identical either way.
     """
 
     def __init__(
@@ -172,6 +232,7 @@ class TriangularArray:
         *,
         alternatives_per_step: int = 2,
         base_time: int | None = None,
+        backend: str = "rtl",
     ):
         if transfer not in ("broadcast", "systolic"):
             raise ValueError(f"unknown transfer model {transfer!r}")
@@ -182,18 +243,71 @@ class TriangularArray:
         self.base_time = base_time if base_time is not None else (
             1 if transfer == "broadcast" else 2
         )
+        self.backend = normalize_backend(backend)
+
+    @property
+    def design_name(self) -> str:
+        return f"triangular-{self.transfer}"
 
     def _delay(self, parent_size: int, child_size: int) -> int:
         if self.transfer == "broadcast":
             return 0
         return parent_size - child_size
 
-    def run(self, spec: TriangularSpec) -> TriangularRun:
+    def run(
+        self,
+        spec: TriangularSpec,
+        *,
+        record_trace: bool = False,
+        backend: str | None = None,
+    ) -> TriangularRun:
+        resolved = normalize_backend(backend, self.backend)
+        if record_trace:
+            resolved = "rtl"
+        subs = list(spec.subproblems())
+        work = sum(len(alts) for _k, alts in subs)
+        return run_with_backend(
+            resolved,
+            work=work,
+            rtl=lambda: self._run_rtl(spec, subs, record_trace=record_trace),
+            fast=lambda: self._run_fast(spec, subs),
+            validate=self._validate,
+        )
+
+    def _validate(self, rtl: TriangularRun, fast: TriangularRun) -> None:
+        ok = (
+            np.isclose(rtl.value, fast.value, equal_nan=True)
+            and rtl.steps == fast.steps
+            and rtl.completion == fast.completion
+            and rtl.alternatives_evaluated == fast.alternatives_evaluated
+        )
+        if not ok:
+            raise BackendMismatch(
+                f"{self.design_name}: rtl/fast disagree "
+                f"(rtl value {rtl.value!r}/{rtl.steps}, "
+                f"fast value {fast.value!r}/{fast.steps})"
+            )
+
+    # ------------------------------------------------------------------
+    # RTL backend
+    # ------------------------------------------------------------------
+    def _run_rtl(
+        self,
+        spec: TriangularSpec,
+        subs: list[tuple[Hashable, list[Alternative]]],
+        *,
+        record_trace: bool = False,
+    ) -> TriangularRun:
+        machine = SystolicMachine(self.design_name, record_trace=record_trace)
         values: dict[Hashable, float] = dict(spec.leaves())
         done: dict[Hashable, int] = {k: self.base_time for k in values}
         decisions: dict[Hashable, int] = {}
-        subs = list(spec.subproblems())
+        serial_ops = sum(len(alts) for _k, alts in subs)
+        for _ in range(self.base_time):  # leaves load during the base steps
+            machine.end_tick()
+        machine.read_input(len(values), label="in:leaves")
         if not subs and spec.goal() in values:
+            machine.write_output(1, label="out:goal")
             return TriangularRun(
                 value=values[spec.goal()],
                 values=dict(values),
@@ -202,7 +316,12 @@ class TriangularArray:
                 completion=dict(done),
                 alternatives_evaluated=0,
                 num_processors=0,
+                report=machine.finalize(iterations=self.base_time, serial_ops=0),
+                trace=machine.legacy_trace(),
+                events=machine.trace_events(),
             )
+        machine.add_pes(len(subs))
+        pe_index = {key: idx for idx, (key, _alts) in enumerate(subs)}
         pending: dict[Hashable, list[tuple[int, Alternative]]] = {
             key: list(enumerate(alts)) for key, alts in subs
         }
@@ -210,7 +329,7 @@ class TriangularArray:
         unresolved = [key for key, _ in subs]
         evaluated = 0
         step = self.base_time
-        max_steps = 8 * sum(len(alts) for _k, alts in subs) + 64
+        max_steps = 8 * serial_ops + 64
         while unresolved:
             step += 1
             still: list[Hashable] = []
@@ -240,15 +359,22 @@ class TriangularArray:
                     else:
                         remaining.append((idx, alt))
                 pending[key] = remaining
+                if folded:
+                    machine.pes[pe_index[key]].count_op(folded)
+                    machine.emit("op", pe_index[key], _key_label(key))
+                    if self.transfer == "broadcast" and not remaining:
+                        machine.put_on_bus(1, label=f"bus:{_key_label(key)}")
                 if remaining or key not in best:
                     still.append(key)
                 else:
                     values[key] = best[key]
                     done[key] = step
             unresolved = still
+            machine.end_tick()
             if step > max_steps:  # defensive: must converge
                 raise RuntimeError("triangular schedule did not converge")
         goal = spec.goal()
+        machine.write_output(1, label="out:goal")
         return TriangularRun(
             value=values[goal],
             values=dict(values),
@@ -257,6 +383,95 @@ class TriangularArray:
             completion=dict(done),
             alternatives_evaluated=evaluated,
             num_processors=len(subs),
+            report=machine.finalize(iterations=done[goal], serial_ops=serial_ops),
+            trace=machine.legacy_trace(),
+            events=machine.trace_events(),
+        )
+
+    # ------------------------------------------------------------------
+    # Fast backend
+    # ------------------------------------------------------------------
+    def _run_fast(
+        self,
+        spec: TriangularSpec,
+        subs: list[tuple[Hashable, list[Alternative]]],
+    ) -> TriangularRun:
+        """Single bottom-up pass: NumPy reductions + greedy schedule."""
+        values: dict[Hashable, float] = dict(spec.leaves())
+        done: dict[Hashable, int] = {k: self.base_time for k in values}
+        serial_ops = sum(len(alts) for _k, alts in subs)
+        if not subs and spec.goal() in values:
+            report = RunReport(
+                design=self.design_name,
+                num_pes=0,
+                iterations=self.base_time,
+                wall_ticks=self.base_time,
+                pe_busy_ticks=(),
+                pe_op_counts=(),
+                serial_ops=0,
+                input_words=len(values),
+                output_words=1,
+                broadcast_words=0,
+                backend="fast",
+            )
+            return TriangularRun(
+                value=values[spec.goal()],
+                values=dict(values),
+                decisions={},
+                steps=self.base_time,
+                completion=dict(done),
+                alternatives_evaluated=0,
+                num_processors=0,
+                report=report,
+            )
+        decisions: dict[Hashable, int] = {}
+        ops: list[int] = []
+        busy: list[int] = []
+        for key, alts in subs:
+            psize = spec.size(key)
+            costs = np.fromiter(
+                (values[a.child_a] + values[a.child_b] + a.local for a in alts),
+                dtype=float,
+                count=len(alts),
+            )
+            win = int(np.argmin(costs))
+            decisions[key] = win
+            values[key] = float(costs[win])
+            avail = [
+                max(
+                    done[a.child_a] + self._delay(psize, spec.size(a.child_a)),
+                    done[a.child_b] + self._delay(psize, spec.size(a.child_b)),
+                )
+                for a in alts
+            ]
+            comp, busy_steps = greedy_completion(avail, self.alternatives_per_step)
+            done[key] = comp
+            ops.append(len(alts))
+            busy.append(busy_steps)
+        goal = spec.goal()
+        wall = max(done.values())
+        report = RunReport(
+            design=self.design_name,
+            num_pes=len(subs),
+            iterations=done[goal],
+            wall_ticks=wall,
+            pe_busy_ticks=tuple(busy),
+            pe_op_counts=tuple(ops),
+            serial_ops=serial_ops,
+            input_words=len(spec.leaves()),
+            output_words=1,
+            broadcast_words=len(subs) if self.transfer == "broadcast" else 0,
+            backend="fast",
+        )
+        return TriangularRun(
+            value=values[goal],
+            values=dict(values),
+            decisions=decisions,
+            steps=done[goal],
+            completion=dict(done),
+            alternatives_evaluated=serial_ops,
+            num_processors=len(subs),
+            report=report,
         )
 
 

@@ -49,3 +49,27 @@ class TestSpacetime:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestBench:
+    def test_bench_times_both_backends(self, capsys):
+        assert main(["bench", "--n", "6", "--m", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=rtl" in out
+        assert "backend=fast" in out
+        assert "speedup fast vs rtl" in out
+
+    def test_bench_writes_record(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "BENCH_smoke.json"
+        assert main(["bench", "--n", "6", "--m", "4", "--json", str(f)]) == 0
+        record = json.loads(f.read_text())
+        assert record["design"] == "fig3-pipelined"
+        assert record["N"] == 6 and record["m"] == 4
+        assert record["iterations"] > 0
+
+    def test_demo_backend_flag(self, capsys):
+        assert main(["demo", "--backend", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("True") == 4

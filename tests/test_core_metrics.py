@@ -52,3 +52,27 @@ class TestSpeedup:
     def test_validation(self):
         with pytest.raises(ValueError):
             speedup(10, 0)
+
+
+class TestSummarizeReport:
+    def test_summary_fields(self, rng):
+        g = single_source_sink(rng, 3, 3)
+        res = PipelinedMatrixStringArray().run_graph(g)
+        from repro.core import summarize_report
+
+        s = summarize_report(res.report)
+        assert s["design"] == "fig3-pipelined"
+        assert s["backend"] == "rtl"
+        assert s["iterations"] == res.report.iterations
+        assert s["is_empty"] is False
+        assert s["processor_utilization"] == res.report.processor_utilization
+
+    def test_empty_run_summary_is_finite(self):
+        from repro.core import summarize_report
+        from repro.systolic import SystolicMachine
+
+        rep = SystolicMachine("t").finalize(iterations=0, serial_ops=0)
+        s = summarize_report(rep)
+        assert s["is_empty"] is True
+        assert s["processor_utilization"] == 0.0
+        assert s["busy_fraction"] == 0.0

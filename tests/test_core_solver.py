@@ -170,3 +170,24 @@ class TestBroadcastPathDispatch:
         framed = add_virtual_terminals(g)
         assert np.isclose(framed.path_cost(rep.solution.nodes), rep.optimum)
         assert np.isclose(rep.optimum, solve_backward(g).optimum)
+
+
+class TestBackendThreading:
+    def test_fast_backend_matches_rtl_everywhere(self, rng):
+        problems = [
+            traffic_light_problem(rng, 5, 4),
+            fig1a_graph(),
+            MatrixChainProblem((30, 35, 15, 5, 10, 20)),
+        ]
+        for problem in problems:
+            rtl = solve(problem, backend="rtl")
+            fast = solve(problem, backend="fast")
+            auto = solve(problem, backend="auto")
+            assert rtl.optimum == fast.optimum == auto.optimum
+            assert rtl.method == fast.method
+
+    def test_unknown_backend_rejected(self):
+        from repro.systolic import SystolicError
+
+        with pytest.raises(SystolicError):
+            solve(fig1a_graph(), backend="gpu")

@@ -16,12 +16,20 @@ from repro.dnc import simulate_chain_product
 from repro.dp import solve_backward, solve_forward, solve_polyadic
 from repro.graphs import MultistageGraph, random_multistage
 from repro.search import branch_and_bound
-from repro.semiring import MAX_PLUS, MIN_PLUS, chain_product
+from repro.semiring import MAX_PLUS, MIN_PLUS, PLUS_TIMES, chain_product
 from repro.systolic import (
     BroadcastMatrixStringArray,
+    BroadcastParenthesizer,
     FeedbackSystolicArray,
     PipelinedMatrixStringArray,
+    SystolicParenthesizer,
 )
+
+# PLUS_TIMES is the counting semiring (non-idempotent ⊕); integer-valued
+# matrices keep its sums exact, so the cross-backend checks below can
+# demand *bit-identical* floats even though the fast backend may reduce
+# in a different association order than the RTL sweep.
+CROSS_SEMIRINGS = (MIN_PLUS, MAX_PLUS, PLUS_TIMES)
 
 
 @given(
@@ -117,3 +125,128 @@ def test_fuzz_max_plus_duality_everywhere(seed, n_layers, m):
     assert np.isclose(
         solve_polyadic(g_max).optimum, -solve_polyadic(g_neg).optimum
     )
+
+
+# ----------------------------------------------------------------------
+# Cross-backend (RTL vs. vectorized fast) agreement
+# ----------------------------------------------------------------------
+
+
+def _int_matrix_string(rng, n_layers, m, *, leftmost_row):
+    """Random integer-valued matrix string, optionally in 1×m row form."""
+    mats = [rng.integers(0, 7, size=(m, m)).astype(float) for _ in range(n_layers - 1)]
+    mats.append(rng.integers(0, 7, size=(m, 1)).astype(float))
+    if leftmost_row and mats:
+        mats[0] = mats[0][:1, :] if mats[0].shape[0] > 1 else mats[0]
+    return mats
+
+
+def _assert_reports_match(rtl, fast, what):
+    assert rtl.backend == "rtl" and fast.backend == "fast", what
+    assert rtl.iterations == fast.iterations, what
+    assert rtl.wall_ticks == fast.wall_ticks, what
+    assert rtl.serial_ops == fast.serial_ops, what
+    assert rtl.processor_utilization == fast.processor_utilization, what
+    assert rtl.busy_fraction == fast.busy_fraction, what
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_layers=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=5),
+    sr_idx=st.integers(min_value=0, max_value=2),
+    leftmost_row=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_fuzz_pipelined_backends_bit_identical(seed, n_layers, m, sr_idx, leftmost_row):
+    rng = np.random.default_rng(seed)
+    sr = CROSS_SEMIRINGS[sr_idx]
+    mats = _int_matrix_string(rng, n_layers, m, leftmost_row=leftmost_row)
+    arr = PipelinedMatrixStringArray(sr)
+    rtl = arr.run(mats, backend="rtl")
+    fast = arr.run(mats, backend="fast")
+    assert np.array_equal(np.asarray(rtl.value), np.asarray(fast.value))
+    _assert_reports_match(rtl.report, fast.report, (sr.name, n_layers, m))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_layers=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=5),
+    sr_idx=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=60, deadline=None)
+def test_fuzz_broadcast_backends_bit_identical(seed, n_layers, m, sr_idx):
+    rng = np.random.default_rng(seed)
+    sr = CROSS_SEMIRINGS[sr_idx]
+    mats = _int_matrix_string(rng, n_layers, m, leftmost_row=False)
+    arr = BroadcastMatrixStringArray(sr)
+    track = sr.add_argreduce is not None
+    rtl = arr.run(mats, track_decisions=track, backend="rtl")
+    fast = arr.run(mats, track_decisions=track, backend="fast")
+    assert np.array_equal(np.asarray(rtl.value), np.asarray(fast.value))
+    _assert_reports_match(rtl.report, fast.report, (sr.name, n_layers, m))
+    if track:
+        assert len(rtl.decisions) == len(fast.decisions)
+        for d_rtl, d_fast in zip(rtl.decisions, fast.decisions):
+            assert np.array_equal(d_rtl, d_fast)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_stages=st.integers(min_value=2, max_value=6),
+    m=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_fuzz_feedback_backends_bit_identical(seed, n_stages, m):
+    from repro.graphs import NodeValueProblem
+
+    rng = np.random.default_rng(seed)
+    values = tuple(rng.integers(-5, 6, m).astype(float) for _ in range(n_stages))
+    p = NodeValueProblem(
+        values=values, edge_cost=lambda a, b: np.abs(a - b) - 2.0
+    )
+    arr = FeedbackSystolicArray()
+    rtl = arr.run(p, backend="rtl")
+    fast = arr.run(p, backend="fast")
+    assert rtl.optimum == fast.optimum
+    assert rtl.path.nodes == fast.path.nodes
+    assert np.array_equal(rtl.final_stage_values, fast.final_stage_values)
+    _assert_reports_match(rtl.report, fast.report, (n_stages, m))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_mats=st.integers(min_value=1, max_value=8),
+    systolic=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_fuzz_parenthesizer_backends_agree(seed, n_mats, systolic):
+    rng = np.random.default_rng(seed)
+    dims = tuple(int(d) for d in rng.integers(1, 30, size=n_mats + 1))
+    engine = SystolicParenthesizer() if systolic else BroadcastParenthesizer()
+    rtl = engine.run(dims, backend="rtl")
+    fast = engine.run(dims, backend="fast")
+    assert rtl.order.cost == fast.order.cost
+    assert rtl.steps == fast.steps
+    assert rtl.subproblem_completion == fast.subproblem_completion
+    assert rtl.alternatives_evaluated == fast.alternatives_evaluated
+    _assert_reports_match(rtl.report, fast.report, (dims, systolic))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_layers=st.integers(min_value=2, max_value=5),
+    m=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_fuzz_auto_backend_matches_both(seed, n_layers, m):
+    # "auto" must return the fast result and silently pass its
+    # cross-validation against RTL on these small instances.
+    rng = np.random.default_rng(seed)
+    mats = _int_matrix_string(rng, n_layers, m, leftmost_row=False)
+    arr = PipelinedMatrixStringArray(PLUS_TIMES)
+    auto = arr.run(mats, backend="auto")
+    fast = arr.run(mats, backend="fast")
+    assert auto.report.backend == "fast"
+    assert np.array_equal(np.asarray(auto.value), np.asarray(fast.value))

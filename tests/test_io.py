@@ -13,10 +13,15 @@ from repro.io import (
     graph_from_dict,
     graph_to_dict,
     load_graph,
+    load_run,
     path_from_dict,
     path_to_dict,
+    report_from_dict,
     report_to_dict,
     save_graph,
+    save_run,
+    trace_from_dicts,
+    trace_to_dicts,
 )
 from repro.semiring import MAX_PLUS
 from repro.systolic import PipelinedMatrixStringArray
@@ -90,3 +95,32 @@ class TestDictForms:
         assert decoded["processor_utilization"] == pytest.approx(
             res.report.processor_utilization
         )
+        assert decoded["backend"] == "rtl"
+        assert decoded["is_empty"] is False
+
+    def test_report_roundtrip(self):
+        res = PipelinedMatrixStringArray().run_graph(fig1a_graph())
+        back = report_from_dict(json.loads(json.dumps(report_to_dict(res.report))))
+        assert back == res.report
+
+
+class TestRunPersistence:
+    def test_trace_dicts_roundtrip(self):
+        res = PipelinedMatrixStringArray().run_graph(fig1a_graph(), record_trace=True)
+        dicts = trace_to_dicts(res.events)
+        json.dumps(dicts)
+        assert trace_from_dicts(json.loads(json.dumps(dicts))) == res.events
+
+    def test_save_load_run(self, tmp_path):
+        res = PipelinedMatrixStringArray().run_graph(fig1a_graph(), record_trace=True)
+        f = tmp_path / "run.json"
+        save_run(f, res.report, res.events)
+        report, events = load_run(f)
+        assert report == res.report
+        assert events == res.events
+
+    def test_load_run_kind_checked(self, tmp_path):
+        f = tmp_path / "bad.json"
+        f.write_text(json.dumps({"kind": "zebra"}))
+        with pytest.raises(ValueError, match="kind"):
+            load_run(f)

@@ -6,7 +6,20 @@ import numpy as np
 import pytest
 
 from repro.graphs import fig1b_problem
-from repro.systolic import FeedbackSystolicArray, render_spacetime, trace_to_grid
+from repro.systolic import (
+    BroadcastMatrixStringArray,
+    BroadcastParenthesizer,
+    FeedbackSystolicArray,
+    MatrixChainSpec,
+    MeshMatrixMultiplier,
+    PipelinedMatrixStringArray,
+    SystolicParenthesizer,
+    TraceEvent,
+    TriangularArray,
+    cell_events,
+    render_spacetime,
+    trace_to_grid,
+)
 
 
 class TestGrid:
@@ -68,3 +81,65 @@ class TestFeedbackTrace:
         out = render_spacetime(res.trace, 3, res.report.iterations)
         assert "x4,3" in out
         assert "/" not in out  # no collisions
+
+
+def _matrix_string(rng, n, m):
+    mats = [rng.uniform(0, 9, size=(m, m)) for _ in range(n - 1)]
+    mats.append(rng.uniform(0, 9, size=(m, 1)))
+    return mats
+
+
+def _all_design_runs():
+    """One traced run per shipped design (the event-bus coverage set)."""
+    rng = np.random.default_rng(7)
+    dims = (8, 30, 35, 15, 5, 10)
+    chain = MatrixChainSpec(dims)
+    return [
+        ("pipelined", PipelinedMatrixStringArray().run(
+            _matrix_string(rng, 4, 3), record_trace=True)),
+        ("broadcast", BroadcastMatrixStringArray().run(
+            _matrix_string(rng, 4, 3), record_trace=True)),
+        ("feedback", FeedbackSystolicArray().run(
+            fig1b_problem(), record_trace=True)),
+        ("mesh", MeshMatrixMultiplier().run(
+            rng.uniform(0, 9, size=(3, 4)), rng.uniform(0, 9, size=(4, 2)),
+            record_trace=True)),
+        ("triangular-broadcast", TriangularArray("broadcast").run(
+            chain, record_trace=True)),
+        ("triangular-systolic", TriangularArray("systolic").run(
+            chain, record_trace=True)),
+        ("paren-broadcast", BroadcastParenthesizer().run(
+            dims, record_trace=True)),
+        ("paren-systolic", SystolicParenthesizer().run(
+            dims, record_trace=True)),
+    ]
+
+
+class TestAllDesignsTrace:
+    def test_no_double_driven_cells_any_design(self):
+        # The wiring invariant across the whole catalogue: bucketing any
+        # shipped design's event stream never produces a "/"-joined
+        # (double-driven) cell.
+        for name, res in _all_design_runs():
+            cells = cell_events(res.events)
+            assert cells, f"{name}: traced run emitted no cell events"
+            num_pes = res.report.num_pes
+            num_ticks = max(res.report.wall_ticks, max(t for t, _, _ in cells))
+            grid = trace_to_grid(res.events, num_pes, num_ticks)
+            joined = [
+                (p, t, cell)
+                for p, row in enumerate(grid)
+                for t, cell in enumerate(row)
+                if "/" in cell
+            ]
+            assert not joined, f"{name}: double-driven cells {joined[:5]}"
+
+    def test_events_are_typed_and_renderable(self):
+        for name, res in _all_design_runs():
+            assert all(isinstance(ev, TraceEvent) for ev in res.events), name
+            kinds = {ev.kind for ev in res.events}
+            assert "op" in kinds, name
+            out = render_spacetime(
+                res.events, res.report.num_pes, res.report.wall_ticks
+            )
+            assert out.splitlines()[1].startswith("P1"), name
