@@ -28,9 +28,22 @@ Subpackages
 ``repro.search``    — DP as branch-and-bound with dominance tests.
 ``repro.dataflow``  — asynchronous dataflow execution of multiply trees.
 ``repro.core``      — classification, Table-1 dispatch ``solve()``, metrics.
+``repro.telemetry`` — trace-bus observability: metrics, timelines, exporters.
 """
 
-from . import andor, core, dataflow, dnc, dp, graphs, io, search, semiring, systolic
+from . import (
+    andor,
+    core,
+    dataflow,
+    dnc,
+    dp,
+    graphs,
+    io,
+    search,
+    semiring,
+    systolic,
+    telemetry,
+)
 from .core import (
     Arity,
     DPClass,
@@ -56,6 +69,7 @@ __all__ = [
     "dataflow",
     "io",
     "core",
+    "telemetry",
     "solve",
     "classify",
     "recommend",

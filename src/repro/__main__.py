@@ -7,9 +7,17 @@ Small demonstration front-end over the library:
 * ``python -m repro fig6 [--n N]`` — regenerate the Figure-6 sweep.
 * ``python -m repro spacetime [--stages N] [--values M]`` — run the
   Fig. 5 array on a random instance and print its space-time diagram.
-* ``python -m repro bench [--n N] [--m M] [--backend B]`` — time the
-  pipelined array on a random matrix string, per backend, and
-  optionally write a ``BENCH_*.json`` record (the CI smoke step).
+* ``python -m repro bench [--design D|all] [--n N] [--m M]
+  [--backend B]`` — time any of the five array designs on a random
+  instance, per backend, and optionally write uniform ``BENCH_*.json``
+  records (the CI smoke step and the perf-trajectory corpus).
+* ``python -m repro trace --design D [--export chrome|json|ascii]`` —
+  run one design with telemetry sinks subscribed and export a
+  Chrome-trace/Perfetto JSON, a full run record (report + events +
+  metrics + timings, consumable by ``compare``), or an ASCII space-time
+  occupancy heatmap.
+* ``python -m repro compare A.json B.json`` — per-metric delta table
+  between two saved run records.
 
 ``demo`` and ``bench`` accept ``--backend rtl|fast|auto`` to pick the
 array execution engine (cycle-accurate machine vs. vectorized
@@ -22,6 +30,53 @@ import argparse
 import sys
 
 import numpy as np
+
+#: CLI design names for the five array simulators.
+DESIGNS = ("pipelined", "broadcast", "feedback", "mesh", "paren")
+
+
+def _design_runner(design: str, rng: np.random.Generator, n: int, m: int):
+    """Build a random instance for ``design``; return ``(name, run)``.
+
+    ``name`` is the simulator's ``design_name``; the ``run`` closure has
+    a uniform signature across designs —
+    ``run(backend=None, sinks=(), record_trace=False) -> result`` where
+    the result carries ``.report`` (and ``.events`` when traced).
+    """
+    if design in ("pipelined", "broadcast"):
+        from .systolic import BroadcastMatrixStringArray, PipelinedMatrixStringArray
+
+        mats = [
+            rng.integers(0, 100, size=(m, m)).astype(float) for _ in range(n - 1)
+        ]
+        mats.append(rng.integers(0, 100, size=(m, 1)).astype(float))
+        array = (
+            PipelinedMatrixStringArray()
+            if design == "pipelined"
+            else BroadcastMatrixStringArray()
+        )
+        return array.design_name, lambda **kw: array.run(mats, **kw)
+    if design == "feedback":
+        from .graphs import traffic_light_problem
+        from .systolic import FeedbackSystolicArray
+
+        problem = traffic_light_problem(rng, n, m)
+        array = FeedbackSystolicArray()
+        return array.design_name, lambda **kw: array.run(problem, **kw)
+    if design == "mesh":
+        from .systolic import MeshMatrixMultiplier
+
+        a = rng.integers(0, 100, size=(n, m)).astype(float)
+        b = rng.integers(0, 100, size=(m, n)).astype(float)
+        array = MeshMatrixMultiplier()
+        return array.design_name, lambda **kw: array.run(a, b, **kw)
+    if design == "paren":
+        from .systolic import SystolicParenthesizer
+
+        dims = tuple(int(d) for d in rng.integers(2, 50, size=n + 1))
+        array = SystolicParenthesizer()
+        return array.design_name, lambda **kw: array.run(dims, **kw)
+    raise ValueError(f"unknown design {design!r}")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -60,19 +115,124 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 
 
 def _cmd_spacetime(args: argparse.Namespace) -> int:
+    import json
+
     from .graphs import traffic_light_problem
-    from .systolic import FeedbackSystolicArray, render_spacetime
+    from .systolic import FeedbackSystolicArray
+    from .telemetry import TimelineSink
 
     rng = np.random.default_rng(args.seed)
     problem = traffic_light_problem(rng, args.stages, args.values)
-    res = FeedbackSystolicArray().run(problem, record_trace=True)
+    timeline = TimelineSink()
+    res = FeedbackSystolicArray().run(problem, sinks=[timeline])
+    if args.json:
+        print(json.dumps(timeline.to_json(res.report), indent=2))
+        return 0
     print(
         f"Fig. 5 array on {args.stages} stages x {args.values} values: "
         f"optimum {res.optimum:.3f}, path {res.path.nodes}, "
         f"{res.report.iterations} iterations\n"
     )
-    print(render_spacetime(res.trace, args.values, res.report.iterations))
+    print(timeline.render_spacetime(args.values, res.report.iterations))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .telemetry import (
+        MetricsSink,
+        TimelineSink,
+        collect_timings,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    design_name, run = _design_runner(args.design, rng, args.n, args.m)
+    timeline = TimelineSink(design_name)
+    metrics = MetricsSink(design_name)
+    with collect_timings() as timer:
+        res = run(record_trace=True, sinks=[timeline, metrics])
+    report = res.report
+    print(
+        f"{report.design} (rtl): {report.num_pes} PEs, "
+        f"{report.iterations} iterations, {report.wall_ticks} wall ticks, "
+        f"PU {report.processor_utilization:.3f}"
+    )
+
+    if args.metrics:
+        path = pathlib.Path(args.metrics)
+        if path.suffix == ".json":
+            path.write_text(
+                json.dumps(metrics.registry.snapshot(), indent=2) + "\n"
+            )
+        else:
+            path.write_text(metrics.registry.to_prometheus())
+        print(f"wrote metrics {path}")
+
+    if args.export == "ascii":
+        print()
+        print(timeline.render_heatmap())
+        breakdown = timeline.pu_breakdown(report)
+        print()
+        print("phase  label            start  length  busy  occupancy")
+        for row in breakdown["phases"]:
+            print(
+                f"{row['phase']:>5d}  {row['label']:<15s}  {row['start']:>5d}  "
+                f"{row['length']:>6d}  {row['busy_ticks']:>4d}  {row['occupancy']:.3f}"
+            )
+        if "paper_pu" in breakdown:
+            print(f"paper closed-form PU: {breakdown['paper_pu']:.4f}")
+        return 0
+
+    out = pathlib.Path(
+        args.out if args.out else f"trace_{report.design}.{args.export}.json"
+    )
+    if args.export == "chrome":
+        data = write_chrome_trace(out, res.events, design=report.design)
+        summary = validate_chrome_trace(data)
+        print(
+            f"wrote {out}: {summary['events']} events on {summary['lanes']} lanes, "
+            f"{summary['phases']} phase spans"
+        )
+    else:  # json: the full run record, consumable by `compare`
+        from .io import save_run
+
+        save_run(
+            out,
+            report,
+            res.events,
+            metrics=metrics.registry.snapshot(),
+            timings=timer.summary(),
+        )
+        print(f"wrote {out}: run record with {len(res.events)} events")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .telemetry import RunComparison
+
+    comparison = RunComparison.from_files(args.run_a, args.run_b)
+    print(comparison.render(only_changed=args.only_changed))
+    return 0
+
+
+def _bench_record(
+    design: str, backend: str, n: int, m: int, wall: float, report
+) -> dict:
+    """The uniform ``BENCH_*.json`` record shape, for every design."""
+    return {
+        "bench": "cli_smoke",
+        "design": report.design,
+        "backend": backend,
+        "N": n,
+        "m": m,
+        "wall_seconds": wall,
+        "iterations": report.iterations,
+        "pu": report.processor_utilization,
+    }
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -80,40 +240,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import pathlib
     import time
 
-    from .systolic import BACKENDS, PipelinedMatrixStringArray
+    from .systolic import BACKENDS
 
-    rng = np.random.default_rng(args.seed)
-    mats = [rng.integers(0, 100, size=(args.m, args.m)).astype(float)
-            for _ in range(args.n - 1)]
-    mats.append(rng.integers(0, 100, size=(args.m, 1)).astype(float))
-    array = PipelinedMatrixStringArray()
+    designs = list(DESIGNS) if args.design == "all" else [args.design]
     backends = list(BACKENDS[:2]) if args.backend == "auto" else [args.backend]
-    timings: dict[str, float] = {}
-    for backend in backends:
-        start = time.perf_counter()
-        res = array.run(mats, backend=backend)
-        timings[backend] = time.perf_counter() - start
-        print(
-            f"pipelined N={args.n} m={args.m} backend={backend}: "
-            f"{timings[backend]:.4f}s, {res.report.iterations} iterations, "
-            f"PU {res.report.processor_utilization:.3f}"
-        )
-    if len(timings) == 2:
-        print(f"speedup fast vs rtl: {timings['rtl'] / timings['fast']:.1f}x")
-    if args.json:
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for design in designs:
+        rng = np.random.default_rng(args.seed)
+        design_name, run = _design_runner(design, rng, args.n, args.m)
+        timings: dict[str, float] = {}
+        for backend in backends:
+            start = time.perf_counter()
+            res = run(backend=backend)
+            timings[backend] = time.perf_counter() - start
+            print(
+                f"{design} N={args.n} m={args.m} backend={backend}: "
+                f"{timings[backend]:.4f}s, {res.report.iterations} iterations, "
+                f"PU {res.report.processor_utilization:.3f}"
+            )
+        if len(timings) == 2:
+            print(f"speedup fast vs rtl: {timings['rtl'] / timings['fast']:.1f}x")
         backend = backends[-1]
-        record = {
-            "bench": "cli_smoke",
-            "design": res.report.design,
-            "backend": backend,
-            "N": args.n,
-            "m": args.m,
-            "wall_seconds": timings[backend],
-            "iterations": res.report.iterations,
-            "pu": res.report.processor_utilization,
-        }
-        pathlib.Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
-        print(f"wrote {args.json}")
+        record = _bench_record(
+            design, backend, args.n, args.m, timings[backend], res.report
+        )
+        if args.json and design == designs[-1]:
+            pathlib.Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
+            print(f"wrote {args.json}")
+        if out_dir is not None:
+            path = out_dir / f"BENCH_{design_name.replace('-', '_')}.json"
+            path.write_text(json.dumps(record, indent=2) + "\n")
+            print(f"wrote {path}")
     return 0
 
 
@@ -140,18 +299,64 @@ def main(argv: list[str] | None = None) -> int:
     p_st.add_argument("--stages", type=int, default=4)
     p_st.add_argument("--values", type=int, default=3)
     p_st.add_argument("--seed", type=int, default=0)
+    p_st.add_argument(
+        "--json", action="store_true",
+        help="print the timeline as JSON instead of the labelled diagram",
+    )
     p_st.set_defaults(func=_cmd_spacetime)
 
-    p_bench = sub.add_parser("bench", help="time the pipelined array per backend")
-    p_bench.add_argument("--n", type=int, default=16, help="matrices in the string")
-    p_bench.add_argument("--m", type=int, default=8, help="values per stage")
+    p_bench = sub.add_parser("bench", help="time an array design per backend")
+    p_bench.add_argument(
+        "--design", choices=DESIGNS + ("all",), default="pipelined",
+        help="array design to time, or 'all' (default: pipelined)",
+    )
+    p_bench.add_argument("--n", type=int, default=16, help="instance size (matrices/stages/rows)")
+    p_bench.add_argument("--m", type=int, default=8, help="values per stage / columns")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument(
         "--backend", choices=("rtl", "fast", "auto"), default="auto",
         help="backend to time; 'auto' times both and prints the speedup",
     )
     p_bench.add_argument("--json", default=None, help="write a BENCH_*.json record here")
+    p_bench.add_argument(
+        "--out-dir", default=None,
+        help="write one BENCH_<design>.json record per design into this directory",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one design with telemetry sinks and export the trace"
+    )
+    p_trace.add_argument(
+        "--design", choices=DESIGNS, default="feedback",
+        help="array design to trace (default: feedback)",
+    )
+    p_trace.add_argument(
+        "--export", choices=("chrome", "json", "ascii"), default="chrome",
+        help="chrome: Perfetto-loadable trace; json: full run record "
+             "(for `compare`); ascii: space-time occupancy heatmap",
+    )
+    p_trace.add_argument("--out", default=None, help="output path for chrome/json exports")
+    p_trace.add_argument(
+        "--metrics", default=None,
+        help="also write the metrics registry here (.json: snapshot; "
+             "otherwise Prometheus text)",
+    )
+    p_trace.add_argument("--n", type=int, default=6, help="instance size (matrices/stages/rows)")
+    p_trace.add_argument("--m", type=int, default=4, help="values per stage / columns")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_cmp = sub.add_parser(
+        "compare", help="per-metric delta table between two saved run records"
+    )
+    p_cmp.add_argument("run_a", help="baseline systolic_run JSON file")
+    p_cmp.add_argument("run_b", help="candidate systolic_run JSON file")
+    p_cmp.add_argument(
+        "--only-changed", action="store_true",
+        help="hide metrics whose values are identical on both sides",
+    )
+    p_cmp.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)
     return args.func(args)

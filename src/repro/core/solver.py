@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Any
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
@@ -83,7 +83,11 @@ def _validated(a: float, b: float) -> bool:
 
 
 def solve(
-    problem: object, *, prefer: str | None = None, backend: str = "rtl"
+    problem: object,
+    *,
+    prefer: str | None = None,
+    backend: str = "rtl",
+    sinks: Iterable[Callable[..., None]] = (),
 ) -> SolveReport:
     """Classify ``problem`` per Table 1, solve it, and validate.
 
@@ -98,27 +102,39 @@ def solve(
     (fast, cross-validated against RTL on small instances).  Paths that
     do not run a systolic array (sequential sweeps, variable
     elimination, divide-and-conquer) ignore it.
+
+    ``sinks`` are telemetry callables (``TraceEvent -> None``, e.g.
+    :class:`~repro.telemetry.MetricsSink` or
+    :class:`~repro.telemetry.TimelineSink`) subscribed to the array's
+    event bus when the dispatch lands on a systolic path; subscribing
+    forces the cycle-accurate rtl backend.  Non-array paths ignore them.
     """
     backend = normalize_backend(backend)
+    sinks = tuple(sinks)
     rec = recommend(problem)
 
     if isinstance(problem, NodeValueProblem):
-        return _solve_node_value(problem, rec, backend)
+        return _solve_node_value(problem, rec, backend, sinks)
     if isinstance(problem, MultistageGraph):
-        return _solve_graph(problem, rec, prefer, backend)
+        return _solve_graph(problem, rec, prefer, backend, sinks)
     if isinstance(problem, MatrixChainProblem):
-        return _solve_chain(problem, rec, prefer, backend)
+        return _solve_chain(problem, rec, prefer, backend, sinks)
     if isinstance(problem, NonserialObjective):
         return _solve_nonserial(problem, rec)
     raise TypeError(f"cannot solve object of type {type(problem).__name__}")
 
 
 def _solve_node_value(
-    problem: NodeValueProblem, rec: Recommendation, backend: str = "rtl"
+    problem: NodeValueProblem,
+    rec: Recommendation,
+    backend: str = "rtl",
+    sinks: tuple = (),
 ) -> SolveReport:
     ref = solve_node_value(problem)
     if problem.is_uniform and rec.dp_class is DPClass.MONADIC_SERIAL:
-        res = FeedbackSystolicArray(problem.semiring).run(problem, backend=backend)
+        res = FeedbackSystolicArray(problem.semiring).run(
+            problem, backend=backend, sinks=sinks
+        )
         return SolveReport(
             dp_class=rec.dp_class,
             method="fig5-feedback-array",
@@ -130,7 +146,7 @@ def _solve_node_value(
             recommendation=rec,
         )
     if rec.dp_class is DPClass.POLYADIC_SERIAL:
-        return _solve_graph(problem.to_graph(), rec, "dnc", backend)
+        return _solve_graph(problem.to_graph(), rec, "dnc", backend, sinks)
     return SolveReport(
         dp_class=rec.dp_class,
         method="sequential-sweep",
@@ -157,6 +173,7 @@ def _solve_graph(
     rec: Recommendation,
     prefer: str | None,
     backend: str = "rtl",
+    sinks: tuple = (),
 ) -> SolveReport:
     ref = solve_backward(graph)
     method = prefer
@@ -209,7 +226,9 @@ def _solve_graph(
         if method == "broadcast" and target.is_single_source_sink:
             # The Fig. 4 ARG path registers let the dispatcher hand back
             # a traced optimal path instead of only the cost.
-            path, res = array.run_graph_with_path(target, backend=backend)
+            path, res = array.run_graph_with_path(
+                target, backend=backend, sinks=sinks
+            )
             return SolveReport(
                 dp_class=rec.dp_class,
                 method="fig4-broadcast-array",
@@ -220,7 +239,7 @@ def _solve_graph(
                 detail=res,
                 recommendation=rec,
             )
-        res = array.run_graph(target, backend=backend)
+        res = array.run_graph(target, backend=backend, sinks=sinks)
         value = np.asarray(res.value)
         optimum = float(graph.semiring.add_reduce(value, axis=None))
         return SolveReport(
@@ -250,12 +269,13 @@ def _solve_chain(
     rec: Recommendation,
     prefer: str | None,
     backend: str = "rtl",
+    sinks: tuple = (),
 ) -> SolveReport:
     ref = solve_matrix_chain(problem.dims)
     engine: Any = (
         BroadcastParenthesizer() if prefer == "broadcast" else SystolicParenthesizer()
     )
-    run = engine.run(problem.dims, backend=backend)
+    run = engine.run(problem.dims, backend=backend, sinks=sinks)
     return SolveReport(
         dp_class=rec.dp_class,
         method=engine.design_name,

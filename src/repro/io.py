@@ -34,6 +34,8 @@ __all__ = [
     "trace_from_dicts",
     "save_run",
     "load_run",
+    "RunRecord",
+    "load_run_record",
     "path_to_dict",
     "path_from_dict",
 ]
@@ -145,19 +147,63 @@ def save_run(
     path: str | pathlib.Path,
     report: RunReport,
     events: tuple[TraceEvent, ...] | list[TraceEvent] = (),
+    *,
+    metrics: dict[str, Any] | None = None,
+    timings: dict[str, Any] | None = None,
 ) -> None:
-    """Write a run report (and optional typed trace) to ``path`` as JSON."""
-    record = {
+    """Write a run report (and optional typed trace) to ``path`` as JSON.
+
+    ``metrics`` (a :meth:`~repro.telemetry.MetricsRegistry.snapshot`
+    dict) and ``timings`` (a
+    :meth:`~repro.telemetry.TimingCollector.summary` dict) are stored
+    alongside the report when provided; the keys are omitted otherwise,
+    so pre-telemetry files and writers stay valid.
+    """
+    record: dict[str, Any] = {
         "kind": "systolic_run",
         "report": report_to_dict(report),
         "events": trace_to_dicts(tuple(events)),
     }
+    if metrics is not None:
+        record["metrics"] = metrics
+    if timings is not None:
+        record["timings"] = timings
+    json.dumps(record)  # guarantee JSON-ability at the source
     pathlib.Path(path).write_text(json.dumps(record, indent=2) + "\n")
 
 
 def load_run(path: str | pathlib.Path) -> tuple[RunReport, tuple[TraceEvent, ...]]:
-    """Read a ``(report, events)`` pair written by :func:`save_run`."""
+    """Read a ``(report, events)`` pair written by :func:`save_run`.
+
+    Telemetry payloads, if any, are ignored here; use
+    :func:`load_run_record` to get them too.
+    """
+    record = load_run_record(path)
+    return record.report, record.events
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """Everything a ``systolic_run`` file holds.
+
+    ``metrics`` and ``timings`` are ``None`` when the file predates the
+    telemetry layer (or the run carried no sinks/collectors).
+    """
+
+    report: RunReport
+    events: tuple[TraceEvent, ...]
+    metrics: dict[str, Any] | None = None
+    timings: dict[str, Any] | None = None
+
+
+def load_run_record(path: str | pathlib.Path) -> RunRecord:
+    """Read a full :class:`RunRecord` written by :func:`save_run`."""
     data = json.loads(pathlib.Path(path).read_text())
     if data.get("kind") != "systolic_run":
         raise ValueError(f"not a systolic-run file: kind={data.get('kind')!r}")
-    return report_from_dict(data["report"]), trace_from_dicts(data["events"])
+    return RunRecord(
+        report=report_from_dict(data["report"]),
+        events=trace_from_dicts(data["events"]),
+        metrics=data.get("metrics"),
+        timings=data.get("timings"),
+    )

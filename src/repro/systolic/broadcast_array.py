@@ -27,6 +27,7 @@ reductions (including the ARG decision registers, via
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -82,6 +83,7 @@ class BroadcastMatrixStringArray:
         track_decisions: bool = False,
         record_trace: bool = False,
         backend: str | None = None,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> BroadcastArrayResult:
         """Evaluate the matrix string right-to-left on the array.
 
@@ -97,11 +99,13 @@ class BroadcastMatrixStringArray:
 
         ``backend`` selects RTL simulation, the vectorized fast path, or
         ``"auto"`` cross-validation; ``record_trace=True`` always runs
-        RTL (tracing is cycle-level).
+        RTL (tracing is cycle-level), as does subscribing telemetry
+        ``sinks`` to the machine's event bus.
         """
         sr = self.sr
         resolved = normalize_backend(backend, self.backend)
-        if record_trace:
+        sinks = tuple(sinks)
+        if record_trace or sinks:
             resolved = "rtl"
         if track_decisions and sr.add_argreduce is None and resolved != "rtl":
             resolved = "rtl"  # fast decisions need an argreduce; RTL tracks inline
@@ -111,10 +115,16 @@ class BroadcastMatrixStringArray:
             resolved,
             work=work,
             rtl=lambda: self._run_rtl(
-                mats, vec, m, track_decisions=track_decisions, record_trace=record_trace
+                mats,
+                vec,
+                m,
+                track_decisions=track_decisions,
+                record_trace=record_trace,
+                sinks=sinks,
             ),
             fast=lambda: self._run_fast(mats, vec, m, track_decisions=track_decisions),
             validate=self._validate,
+            design=self.design_name,
         )
 
     def _validate(self, rtl: BroadcastArrayResult, fast: BroadcastArrayResult) -> None:
@@ -146,9 +156,12 @@ class BroadcastMatrixStringArray:
         *,
         track_decisions: bool = False,
         record_trace: bool = False,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> BroadcastArrayResult:
         sr = self.sr
-        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        machine = SystolicMachine(
+            self.design_name, record_trace=record_trace, sinks=sinks
+        )
         pes = machine.add_pes(m)
         for pe in pes:
             pe.reg("ACC", sr.zero)
@@ -304,15 +317,23 @@ class BroadcastMatrixStringArray:
                 pe["ARG"].set(j)
 
     def run_graph(
-        self, graph: MultistageGraph, *, backend: str | None = None
+        self,
+        graph: MultistageGraph,
+        *,
+        backend: str | None = None,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> BroadcastArrayResult:
         """Evaluate a single-sink multistage graph (backward formulation)."""
         if graph.semiring.name != self.sr.name:
             raise SystolicError("graph and array use different semirings")
-        return self.run(graph.as_matrices(), backend=backend)
+        return self.run(graph.as_matrices(), backend=backend, sinks=sinks)
 
     def run_graph_with_path(
-        self, graph: MultistageGraph, *, backend: str | None = None
+        self,
+        graph: MultistageGraph,
+        *,
+        backend: str | None = None,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ):
         """Solve a single-source/sink graph and trace the optimal path.
 
@@ -327,7 +348,9 @@ class BroadcastMatrixStringArray:
 
         if not graph.is_single_source_sink:
             raise SystolicError("path traceback needs a single-source/sink graph")
-        res = self.run(graph.as_matrices(), track_decisions=True, backend=backend)
+        res = self.run(
+            graph.as_matrices(), track_decisions=True, backend=backend, sinks=sinks
+        )
         assert res.decisions is not None
         n_layers = graph.num_layers
         nodes = [0]

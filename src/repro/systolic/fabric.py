@@ -231,8 +231,14 @@ class EventBus:
         return unsubscribe
 
     def emit(self, event: TraceEvent) -> None:
-        """Deliver ``event`` to every subscribed sink."""
-        for sink in self._sinks:
+        """Deliver ``event`` to every sink subscribed at call time.
+
+        Delivery iterates over a snapshot of the sink list, so a sink
+        that unsubscribes itself (or subscribes a new sink) *during*
+        ``emit`` cannot mutate the list mid-iteration; a sink added
+        while an event is being delivered first sees the next event.
+        """
+        for sink in tuple(self._sinks):
             sink(event)
 
 
@@ -425,6 +431,7 @@ class SystolicMachine:
         *,
         record_trace: bool = False,
         hop_delay: int = 1,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ):
         if hop_delay < 0:
             raise SystolicError("hop_delay must be nonnegative")
@@ -437,6 +444,8 @@ class SystolicMachine:
         if record_trace:
             self.trace = TraceSink()
             self.bus.subscribe(self.trace)
+        for sink in sinks:  # external telemetry sinks (metrics, timelines, …)
+            self.bus.subscribe(sink)
         self.tick = 1  # the tick currently being simulated (1-based)
         self.phase = -1  # index of the current control phase
         self.phase_start = 0  # overlapped-tick origin of the current phase
@@ -615,6 +624,7 @@ def run_with_backend(
     fast: Callable[[], Any],
     validate: Callable[[Any, Any], None],
     validate_limit: int = AUTO_VALIDATE_LIMIT,
+    design: str = "array",
 ):
     """Shared ``rtl | fast | auto`` dispatch used by every array design.
 
@@ -622,12 +632,27 @@ def run_with_backend(
     the fast result; below ``validate_limit`` it additionally runs the
     RTL backend and calls ``validate(rtl_result, fast_result)``, which
     must raise :class:`BackendMismatch` on disagreement.
+
+    Each backend invocation runs under a ``<design>.backend.<name>``
+    timing span (:mod:`repro.telemetry.timing`), so rtl and fast
+    executions yield comparable wall-clock telemetry even though the
+    fast path never ticks a machine.  The import is deferred — the
+    telemetry package consumes this module — and the span is a shared
+    no-op unless a :func:`~repro.telemetry.timing.collect_timings`
+    collector is installed.
     """
+    from ..telemetry.timing import span  # deferred: telemetry imports fabric
+
     if backend == "rtl":
-        return rtl()
+        with span(f"{design}.backend.rtl"):
+            return rtl()
     if backend == "fast":
-        return fast()
-    fast_result = fast()
+        with span(f"{design}.backend.fast"):
+            return fast()
+    with span(f"{design}.backend.fast"):
+        fast_result = fast()
     if work <= validate_limit:
-        validate(rtl(), fast_result)
+        with span(f"{design}.backend.rtl"):
+            rtl_result = rtl()
+        validate(rtl_result, fast_result)
     return fast_result

@@ -46,7 +46,7 @@ registers), then reports the schedule's closed-form counters: the same
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -115,6 +115,7 @@ class FeedbackSystolicArray:
         *,
         record_trace: bool = False,
         backend: str | None = None,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> FeedbackArrayResult:
         """Run the array on a node-value problem with uniform stage width.
 
@@ -128,7 +129,8 @@ class FeedbackSystolicArray:
 
         ``backend`` selects RTL simulation, the vectorized fast path, or
         ``"auto"`` cross-validation; ``record_trace=True`` always runs
-        RTL (tracing is cycle-level).
+        RTL (tracing is cycle-level), as does subscribing telemetry
+        ``sinks`` to the machine's event bus.
         """
         sr = self.sr
         if problem.semiring.name != sr.name:
@@ -139,7 +141,8 @@ class FeedbackSystolicArray:
                 f"per stage; got sizes {problem.stage_sizes}"
             )
         resolved = normalize_backend(backend, self.backend)
-        if record_trace:
+        sinks = tuple(sinks)
+        if record_trace or sinks:
             resolved = "rtl"
         n_stages = problem.num_stages
         m = problem.stage_sizes[0]
@@ -147,9 +150,12 @@ class FeedbackSystolicArray:
         return run_with_backend(
             resolved,
             work=work,
-            rtl=lambda: self._run_rtl(problem, n_stages, m, record_trace=record_trace),
+            rtl=lambda: self._run_rtl(
+                problem, n_stages, m, record_trace=record_trace, sinks=sinks
+            ),
             fast=lambda: self._run_fast(problem, n_stages, m),
             validate=self._validate,
+            design=self.design_name,
         )
 
     def _validate(self, rtl: FeedbackArrayResult, fast: FeedbackArrayResult) -> None:
@@ -180,13 +186,16 @@ class FeedbackSystolicArray:
         m: int,
         *,
         record_trace: bool = False,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> FeedbackArrayResult:
         sr = self.sr
         f: Callable[[float, float], float] = lambda a, b: float(
             problem.edge_cost(np.asarray(a), np.asarray(b))
         )
 
-        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        machine = SystolicMachine(
+            self.design_name, record_trace=record_trace, sinks=sinks
+        )
         pes = machine.add_pes(m)
         for pe in pes:
             pe.reg("PAIR", None)  # moving slot (R of the paper + its h/arg)

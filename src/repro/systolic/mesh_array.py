@@ -31,6 +31,7 @@ plus the schedule's closed-form counters.
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -88,6 +89,7 @@ class MeshMatrixMultiplier:
         *,
         record_trace: bool = False,
         backend: str | None = None,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> MeshArrayResult:
         """Multiply ``a ⊗ b`` on an ``n × m`` mesh of PEs.
 
@@ -95,7 +97,8 @@ class MeshMatrixMultiplier:
         :func:`repro.semiring.matmul` by the tests; the report's
         ``wall_ticks`` equals :func:`mesh_cycles`.  ``backend`` selects
         RTL simulation, the vectorized fast path, or ``"auto"``
-        cross-validation; ``record_trace=True`` always runs RTL.
+        cross-validation; ``record_trace=True`` always runs RTL, as
+        does subscribing telemetry ``sinks`` to the event bus.
         """
         sr = self.sr
         a = sr.asarray(a)
@@ -107,14 +110,18 @@ class MeshMatrixMultiplier:
         if k != k2:
             raise SystolicError(f"inner dimensions differ: {a.shape} x {b.shape}")
         resolved = normalize_backend(backend, self.backend)
-        if record_trace:
+        sinks = tuple(sinks)
+        if record_trace or sinks:
             resolved = "rtl"
         return run_with_backend(
             resolved,
             work=n * k * m,
-            rtl=lambda: self._run_rtl(a, b, n, k, m, record_trace=record_trace),
+            rtl=lambda: self._run_rtl(
+                a, b, n, k, m, record_trace=record_trace, sinks=sinks
+            ),
             fast=lambda: self._run_fast(a, b, n, k, m),
             validate=self._validate,
+            design=self.design_name,
         )
 
     def _validate(self, rtl: MeshArrayResult, fast: MeshArrayResult) -> None:
@@ -137,9 +144,12 @@ class MeshMatrixMultiplier:
         m: int,
         *,
         record_trace: bool = False,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> MeshArrayResult:
         sr = self.sr
-        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        machine = SystolicMachine(
+            self.design_name, record_trace=record_trace, sinks=sinks
+        )
         machine.add_pes(n * m)
         pes = [[machine.pes[i * m + j] for j in range(m)] for i in range(n)]
         for row in pes:

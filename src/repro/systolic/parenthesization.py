@@ -38,7 +38,7 @@ the RTL sweep exactly.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -158,20 +158,25 @@ class _ParenthesizerBase:
         *,
         record_trace: bool = False,
         backend: str | None = None,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> ParenthesizationRun:
         """Solve eq. (6) for ``dims`` on the array; measure the schedule."""
         dims = _check_dims(dims)
         n = len(dims) - 1
         resolved = normalize_backend(backend, self.backend)
-        if record_trace:
+        sinks = tuple(sinks)
+        if record_trace or sinks:
             resolved = "rtl"
         work = n * (n * n - 1) // 6  # total AND-nodes: sum of (span-1) per cell
         return run_with_backend(
             resolved,
             work=work,
-            rtl=lambda: self._run_rtl(dims, n, record_trace=record_trace),
+            rtl=lambda: self._run_rtl(
+                dims, n, record_trace=record_trace, sinks=sinks
+            ),
             fast=lambda: self._run_fast(dims, n),
             validate=self._validate,
+            design=self.design_name,
         )
 
     def _validate(self, rtl: ParenthesizationRun, fast: ParenthesizationRun) -> None:
@@ -192,7 +197,12 @@ class _ParenthesizerBase:
     # RTL backend
     # ------------------------------------------------------------------
     def _run_rtl(
-        self, dims: tuple[int, ...], n: int, *, record_trace: bool = False
+        self,
+        dims: tuple[int, ...],
+        n: int,
+        *,
+        record_trace: bool = False,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> ParenthesizationRun:
         r = np.asarray(dims, dtype=np.int64)
         m = {(i, i): 0 for i in range(1, n + 1)}
@@ -200,7 +210,9 @@ class _ParenthesizerBase:
         done = {(i, i): self.base_time for i in range(1, n + 1)}
         alternatives = 0
 
-        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        machine = SystolicMachine(
+            self.design_name, record_trace=record_trace, sinks=sinks
+        )
         for _ in range(self.base_time):  # leaves load during the base steps
             machine.end_tick()
         machine.read_input(len(dims), label="in:dims")

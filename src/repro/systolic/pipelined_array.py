@@ -35,6 +35,7 @@ counters; ``backend="auto"`` cross-validates the two on small instances.
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -121,6 +122,7 @@ class PipelinedMatrixStringArray:
         *,
         record_trace: bool = False,
         backend: str | None = None,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> PipelinedArrayResult:
         """Evaluate the matrix string right-to-left on the array.
 
@@ -137,19 +139,27 @@ class PipelinedMatrixStringArray:
         clocked machine, ``"fast"`` computes the same values with
         whole-array semiring reductions, ``"auto"`` cross-validates fast
         against RTL on small instances.  Tracing is a cycle-level
-        feature, so ``record_trace=True`` always runs RTL.
+        feature, so ``record_trace=True`` always runs RTL; so do
+        ``sinks`` — telemetry callables (e.g.
+        :class:`~repro.telemetry.MetricsSink` /
+        :class:`~repro.telemetry.TimelineSink`) subscribed to the
+        machine's event bus for the duration of the run.
         """
         resolved = normalize_backend(backend, self.backend)
-        if record_trace:
+        sinks = tuple(sinks)
+        if record_trace or sinks:
             resolved = "rtl"
         mats, vec, m = _normalize_string(self.sr, matrices)
         work = sum(int(mm.shape[0]) * int(mm.shape[1]) for mm in mats)
         return run_with_backend(
             resolved,
             work=work,
-            rtl=lambda: self._run_rtl(mats, vec, m, record_trace=record_trace),
+            rtl=lambda: self._run_rtl(
+                mats, vec, m, record_trace=record_trace, sinks=sinks
+            ),
             fast=lambda: self._run_fast(mats, vec, m),
             validate=self._validate,
+            design=self.design_name,
         )
 
     def _validate(self, rtl: PipelinedArrayResult, fast: PipelinedArrayResult) -> None:
@@ -175,9 +185,12 @@ class PipelinedMatrixStringArray:
         m: int,
         *,
         record_trace: bool = False,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> PipelinedArrayResult:
         sr = self.sr
-        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        machine = SystolicMachine(
+            self.design_name, record_trace=record_trace, sinks=sinks
+        )
         pes = machine.add_pes(m)
         for pe in pes:
             pe.reg("R", sr.zero)  # moving input slot
@@ -295,6 +308,7 @@ class PipelinedMatrixStringArray:
         *,
         record_trace: bool = False,
         backend: str | None = None,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> PipelinedArrayResult:
         """Evaluate a single-sink multistage graph (backward formulation).
 
@@ -304,7 +318,12 @@ class PipelinedMatrixStringArray:
         """
         if graph.semiring.name != self.sr.name:
             raise SystolicError("graph and array use different semirings")
-        return self.run(graph.as_matrices(), record_trace=record_trace, backend=backend)
+        return self.run(
+            graph.as_matrices(),
+            record_trace=record_trace,
+            backend=backend,
+            sinks=sinks,
+        )
 
     # ------------------------------------------------------------------
     # Phase simulations (RTL)

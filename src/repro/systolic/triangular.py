@@ -36,7 +36,7 @@ fold counts.
 from __future__ import annotations
 
 import dataclasses
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -260,18 +260,23 @@ class TriangularArray:
         *,
         record_trace: bool = False,
         backend: str | None = None,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> TriangularRun:
         resolved = normalize_backend(backend, self.backend)
-        if record_trace:
+        sinks = tuple(sinks)
+        if record_trace or sinks:
             resolved = "rtl"
         subs = list(spec.subproblems())
         work = sum(len(alts) for _k, alts in subs)
         return run_with_backend(
             resolved,
             work=work,
-            rtl=lambda: self._run_rtl(spec, subs, record_trace=record_trace),
+            rtl=lambda: self._run_rtl(
+                spec, subs, record_trace=record_trace, sinks=sinks
+            ),
             fast=lambda: self._run_fast(spec, subs),
             validate=self._validate,
+            design=self.design_name,
         )
 
     def _validate(self, rtl: TriangularRun, fast: TriangularRun) -> None:
@@ -297,8 +302,11 @@ class TriangularArray:
         subs: list[tuple[Hashable, list[Alternative]]],
         *,
         record_trace: bool = False,
+        sinks: Iterable[Callable[[TraceEvent], None]] = (),
     ) -> TriangularRun:
-        machine = SystolicMachine(self.design_name, record_trace=record_trace)
+        machine = SystolicMachine(
+            self.design_name, record_trace=record_trace, sinks=sinks
+        )
         values: dict[Hashable, float] = dict(spec.leaves())
         done: dict[Hashable, int] = {k: self.base_time for k in values}
         decisions: dict[Hashable, int] = {}

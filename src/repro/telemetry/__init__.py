@@ -1,0 +1,58 @@
+"""Observability over the systolic trace bus.
+
+Everything in this package consumes the typed
+:class:`~repro.systolic.fabric.TraceEvent` stream the PR-1 machine core
+publishes (or, for the vectorized backends, wall-clock timing spans) —
+no simulator internals are reached into, and nothing here costs a
+traced run anything unless a sink is actually subscribed:
+
+* :mod:`~repro.telemetry.metrics` — Prometheus-style
+  :class:`MetricsRegistry` (counters / gauges / fixed-bucket
+  histograms) fed by a :class:`MetricsSink`;
+* :mod:`~repro.telemetry.timeline` — :class:`TimelineSink` per-PE
+  busy/idle timelines, ASCII occupancy heatmaps, and measured-vs-paper
+  PU breakdowns;
+* :mod:`~repro.telemetry.export` — Chrome-trace / Perfetto JSON
+  export plus the schema check CI runs on it;
+* :mod:`~repro.telemetry.compare` — :class:`RunComparison` per-metric
+  deltas between two runs;
+* :mod:`~repro.telemetry.timing` — ``perf_counter_ns`` spans so rtl
+  and fast backends yield comparable wall-clock telemetry.
+
+See ``docs/observability.md`` for the naming scheme and CLI workflows
+(``python -m repro trace`` / ``compare``).
+"""
+
+from .compare import MetricDelta, RunComparison
+from .export import chrome_trace, validate_chrome_trace, write_chrome_trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    MetricsSink,
+)
+from .timeline import PhaseSpan, TimelineSink, paper_reference_pu
+from .timing import TimingCollector, active_collector, collect_timings, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricDelta",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsSink",
+    "PhaseSpan",
+    "RunComparison",
+    "TimelineSink",
+    "TimingCollector",
+    "active_collector",
+    "chrome_trace",
+    "collect_timings",
+    "paper_reference_pu",
+    "span",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,209 @@
+"""Diff two runs: per-metric deltas between saved or in-memory runs.
+
+A :class:`RunComparison` flattens each side — the
+:class:`~repro.systolic.fabric.RunReport` scalars, an optional
+:class:`~repro.telemetry.metrics.MetricsRegistry` snapshot, and optional
+:class:`~repro.telemetry.timing.TimingCollector` summaries — into a flat
+``name → value`` map and reports per-metric deltas.  Typical uses:
+
+* rtl vs fast backend on the same instance (counters must agree; wall
+  time must not) — the cross-backend contract as a diffable table;
+* the same command on two commits (regression triage on saved
+  ``systolic_run`` JSON files via ``python -m repro compare``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import pathlib
+from typing import Any, Mapping
+
+from ..systolic.fabric import RunReport
+
+__all__ = ["MetricDelta", "RunComparison", "flatten_report", "flatten_metrics"]
+
+#: RunReport scalar fields/properties a comparison diffs.
+REPORT_SCALARS = (
+    "num_pes",
+    "iterations",
+    "wall_ticks",
+    "serial_ops",
+    "total_ops",
+    "input_words",
+    "output_words",
+    "broadcast_words",
+    "processor_utilization",
+    "busy_fraction",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDelta:
+    """One metric's value on each side and the resulting delta."""
+
+    name: str
+    a: float | None  # None = absent on that side
+    b: float | None
+
+    @property
+    def delta(self) -> float | None:
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+    @property
+    def pct(self) -> float | None:
+        """Relative change in percent; ``None`` when undefined (a == 0)."""
+        if self.a is None or self.b is None or self.a == 0:
+            return None
+        return 100.0 * (self.b - self.a) / abs(self.a)
+
+    @property
+    def changed(self) -> bool:
+        if self.a is None or self.b is None:
+            return True
+        return not math.isclose(self.a, self.b, rel_tol=1e-12, abs_tol=0.0)
+
+
+def flatten_report(report: RunReport) -> dict[str, float]:
+    """Scalar ``name → value`` view of a run report."""
+    return {name: float(getattr(report, name)) for name in REPORT_SCALARS}
+
+
+def flatten_metrics(snapshot: Mapping[str, Any]) -> dict[str, float]:
+    """Flatten a :meth:`MetricsRegistry.snapshot` dict to scalar series.
+
+    Counters/gauges flatten to ``name{k="v",...}``; histograms to their
+    ``_count`` and ``_sum`` series (bucket-level diffs add noise without
+    aiding triage).
+    """
+    out: dict[str, float] = {}
+    for name, family in snapshot.get("metrics", {}).items():
+        for series in family.get("series", ()):
+            labels = series.get("labels", {})
+            suffix = (
+                "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if family.get("type") == "histogram":
+                out[f"{name}_count{suffix}"] = float(series["count"])
+                out[f"{name}_sum{suffix}"] = float(series["sum"])
+            else:
+                out[f"{name}{suffix}"] = float(series["value"])
+    return out
+
+
+def flatten_timings(summary: Mapping[str, Any]) -> dict[str, float]:
+    """Flatten a :meth:`TimingCollector.summary` dict to total seconds."""
+    return {
+        f"timing:{name}.total_seconds": float(stats["total_seconds"])
+        for name, stats in summary.items()
+    }
+
+
+class RunComparison:
+    """Two flattened runs plus labels; produces deltas and a text table."""
+
+    def __init__(
+        self,
+        label_a: str,
+        label_b: str,
+        values_a: Mapping[str, float],
+        values_b: Mapping[str, float],
+    ):
+        self.label_a = label_a
+        self.label_b = label_b
+        self.values_a = dict(values_a)
+        self.values_b = dict(values_b)
+
+    @classmethod
+    def from_reports(
+        cls,
+        report_a: RunReport,
+        report_b: RunReport,
+        *,
+        label_a: str | None = None,
+        label_b: str | None = None,
+        metrics_a: Mapping[str, Any] | None = None,
+        metrics_b: Mapping[str, Any] | None = None,
+        timings_a: Mapping[str, Any] | None = None,
+        timings_b: Mapping[str, Any] | None = None,
+    ) -> "RunComparison":
+        """Compare two in-memory runs (optionally with metrics/timings)."""
+
+        def side(report, metrics, timings):
+            values = flatten_report(report)
+            if metrics:
+                values.update(flatten_metrics(metrics))
+            if timings:
+                values.update(flatten_timings(timings))
+            return values
+
+        return cls(
+            label_a or f"{report_a.design}/{report_a.backend}",
+            label_b or f"{report_b.design}/{report_b.backend}",
+            side(report_a, metrics_a, timings_a),
+            side(report_b, metrics_b, timings_b),
+        )
+
+    @classmethod
+    def from_files(
+        cls, path_a: str | pathlib.Path, path_b: str | pathlib.Path
+    ) -> "RunComparison":
+        """Compare two ``systolic_run`` JSON files written by ``save_run``."""
+        from .. import io as repro_io
+
+        rec_a = repro_io.load_run_record(path_a)
+        rec_b = repro_io.load_run_record(path_b)
+        return cls.from_reports(
+            rec_a.report,
+            rec_b.report,
+            label_a=pathlib.Path(path_a).name,
+            label_b=pathlib.Path(path_b).name,
+            metrics_a=rec_a.metrics,
+            metrics_b=rec_b.metrics,
+            timings_a=rec_a.timings,
+            timings_b=rec_b.timings,
+        )
+
+    def deltas(self, *, only_changed: bool = False) -> list[MetricDelta]:
+        """Per-metric deltas over the union of both sides' metric names."""
+        names = sorted(set(self.values_a) | set(self.values_b))
+        out = [
+            MetricDelta(name, self.values_a.get(name), self.values_b.get(name))
+            for name in names
+        ]
+        if only_changed:
+            out = [d for d in out if d.changed]
+        return out
+
+    def render(self, *, only_changed: bool = False) -> str:
+        """Aligned ``metric | A | B | delta | delta%`` table."""
+
+        def fmt(v: float | None) -> str:
+            if v is None:
+                return "-"
+            if float(v).is_integer() and abs(v) < 1e15:
+                return str(int(v))
+            return f"{v:.6g}"
+
+        rows = [("metric", self.label_a, self.label_b, "delta", "delta%")]
+        for d in self.deltas(only_changed=only_changed):
+            pct = "-" if d.pct is None else f"{d.pct:+.2f}%"
+            rows.append((d.name, fmt(d.a), fmt(d.b), fmt(d.delta), pct))
+        if len(rows) == 1:
+            rows.append(("(no metrics)", "-", "-", "-", "-"))
+        widths = [max(len(r[i]) for r in rows) for i in range(5)]
+        lines = []
+        for i, r in enumerate(rows):
+            lines.append(
+                "  ".join(
+                    cell.ljust(w) if j == 0 else cell.rjust(w)
+                    for j, (cell, w) in enumerate(zip(r, widths))
+                ).rstrip()
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Chrome-trace / Perfetto export of typed trace-event streams.
+
+:func:`chrome_trace` converts the machine's :class:`TraceEvent` stream
+into the Chrome trace-event JSON format (the ``{"traceEvents": [...]}``
+object form), loadable in ``chrome://tracing`` and https://ui.perfetto.dev:
+
+* each PE gets its own thread lane (``"M"`` thread-name metadata), and
+  every ``op``/``shift``/``broadcast`` cell becomes a one-tick ``"X"``
+  complete event on that lane, categorized by kind;
+* I/O port transfers (and broadcasts with no PE) land as ``"i"``
+  instant events on a dedicated ``array`` lane;
+* control phases become ``"b"``/``"e"`` async spans, so the Fig. 3/4
+  overlapped phase structure shows up as a band above the PE lanes.
+
+One simulated tick is rendered as :data:`TICK_USECS` microseconds so a
+schedule of a few hundred ticks zooms comfortably.
+:func:`validate_chrome_trace` is the schema check CI runs against the
+exported file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterable
+
+from ..systolic.fabric import CELL_KINDS, TraceEvent
+
+__all__ = [
+    "TICK_USECS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Microseconds of trace time per simulated tick.
+TICK_USECS = 1000
+
+_PID = 1
+
+
+def _ts(tick: int) -> int:
+    """Trace timestamp (µs) of a 1-based tick's leading edge."""
+    return (tick - 1) * TICK_USECS
+
+
+def chrome_trace(
+    events: Iterable[TraceEvent], *, design: str = "systolic-array"
+) -> dict[str, Any]:
+    """Chrome trace-event object for one run's event stream."""
+    events = list(events)
+    pes = sorted({e.pe for e in events if e.pe >= 0})
+    num_pes = (pes[-1] + 1) if pes else 0
+    array_tid = num_pes  # lane after the last PE for array-level events
+    last_tick = max((e.tick for e in events), default=0)
+
+    out: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": design},
+        }
+    ]
+    for pe in range(num_pes):
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": pe,
+                "args": {"name": f"PE{pe + 1}"},
+            }
+        )
+    out.append(
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID,
+            "tid": array_tid,
+            "args": {"name": "array"},
+        }
+    )
+
+    phase_marks = [e for e in events if e.kind == "phase"]
+    for i, mark in enumerate(phase_marks):
+        end_tick = (
+            phase_marks[i + 1].tick if i + 1 < len(phase_marks) else last_tick + 1
+        )
+        span = {
+            "cat": "phase",
+            "name": mark.label,
+            "id": mark.phase,
+            "pid": _PID,
+            "args": {"phase": mark.phase},
+        }
+        out.append({**span, "ph": "b", "ts": _ts(mark.tick)})
+        out.append({**span, "ph": "e", "ts": _ts(end_tick)})
+
+    for e in events:
+        if e.kind in CELL_KINDS and e.pe >= 0:
+            out.append(
+                {
+                    "ph": "X",
+                    "cat": e.kind,
+                    "name": e.label,
+                    "ts": _ts(e.tick),
+                    "dur": TICK_USECS,
+                    "pid": _PID,
+                    "tid": e.pe,
+                    "args": {"tick": e.tick, "phase": e.phase},
+                }
+            )
+        elif e.kind == "phase":
+            continue  # already rendered as async spans
+        else:  # io, and broadcasts carrying no PE index
+            out.append(
+                {
+                    "ph": "i",
+                    "cat": e.kind,
+                    "name": e.label,
+                    "ts": _ts(e.tick),
+                    "pid": _PID,
+                    "tid": array_tid,
+                    "s": "t",
+                    "args": {"tick": e.tick, "phase": e.phase},
+                }
+            )
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | pathlib.Path,
+    events: Iterable[TraceEvent],
+    *,
+    design: str = "systolic-array",
+) -> dict[str, Any]:
+    """Write :func:`chrome_trace` output to ``path``; returns the object."""
+    data = chrome_trace(events, design=design)
+    pathlib.Path(path).write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def validate_chrome_trace(data: dict[str, Any]) -> dict[str, int]:
+    """Schema-check a Chrome-trace object; raise ``ValueError`` if malformed.
+
+    Verifies the object form, the per-event required keys for the phase
+    types this exporter emits, and that every duration/instant event
+    targets a named lane.  Returns summary counts
+    ``{"events", "lanes", "phases"}`` for CI logs.
+    """
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        raise ValueError("not a Chrome trace: missing traceEvents list")
+    lanes: set[tuple[int, int]] = set()
+    named_lanes: set[tuple[int, int]] = set()
+    phases: set[int] = set()
+    open_spans: dict[int, int] = {}
+    n_events = 0
+    for i, ev in enumerate(data["traceEvents"]):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            raise ValueError(f"traceEvents[{i}]: not an event object")
+        ph = ev["ph"]
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_lanes.add((ev["pid"], ev["tid"]))
+            continue
+        n_events += 1
+        if ph == "X":
+            for key in ("ts", "dur", "pid", "tid", "name"):
+                if key not in ev:
+                    raise ValueError(f"traceEvents[{i}]: X event missing {key!r}")
+            if ev["dur"] <= 0:
+                raise ValueError(f"traceEvents[{i}]: non-positive duration")
+            lanes.add((ev["pid"], ev["tid"]))
+        elif ph == "i":
+            for key in ("ts", "pid", "tid", "name"):
+                if key not in ev:
+                    raise ValueError(f"traceEvents[{i}]: i event missing {key!r}")
+            lanes.add((ev["pid"], ev["tid"]))
+        elif ph == "b":
+            if "id" not in ev or "ts" not in ev:
+                raise ValueError(f"traceEvents[{i}]: b event missing id/ts")
+            phases.add(ev["id"])
+            open_spans[ev["id"]] = open_spans.get(ev["id"], 0) + 1
+        elif ph == "e":
+            if "id" not in ev:
+                raise ValueError(f"traceEvents[{i}]: e event missing id")
+            if open_spans.get(ev["id"], 0) <= 0:
+                raise ValueError(f"traceEvents[{i}]: e event with no open b span")
+            open_spans[ev["id"]] -= 1
+        else:
+            raise ValueError(f"traceEvents[{i}]: unexpected phase type {ph!r}")
+    still_open = [k for k, v in open_spans.items() if v]
+    if still_open:
+        raise ValueError(f"unterminated async phase spans: {sorted(still_open)}")
+    unnamed = lanes - named_lanes
+    if unnamed:
+        raise ValueError(f"events target unnamed lanes: {sorted(unnamed)}")
+    return {"events": n_events, "lanes": len(named_lanes), "phases": len(phases)}

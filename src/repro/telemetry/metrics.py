@@ -1,0 +1,341 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+A small Prometheus-style metric model for the simulators' telemetry:
+
+* a metric *family* has a name, help text and a tuple of label names;
+* ``family.labels(design="fig5-feedback", kind="op")`` returns (and
+  caches) the child time series for one label-value combination;
+* :meth:`MetricsRegistry.to_prometheus` renders the whole registry in
+  the Prometheus text exposition format, and
+  :meth:`MetricsRegistry.snapshot` in a JSON-able dict form that
+  :func:`repro.io.save_run` can persist next to a run report.
+
+:class:`MetricsSink` adapts the model to the trace bus: subscribe one to
+a machine's :class:`~repro.systolic.fabric.EventBus` and every
+``op``/``shift``/``broadcast``/``io``/``phase`` event is folded into
+per-design, per-PE, per-kind series (see the metric naming scheme in
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Any, Iterable
+
+from ..systolic.fabric import CELL_KINDS, TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsSink",
+    "DEFAULT_TICK_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default fixed buckets for tick-valued histograms (powers of 4, so the
+#: exposition stays compact even for long schedules).
+DEFAULT_TICK_BUCKETS = (4, 16, 64, 256, 1024, 4096, 16384)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram: per-bucket counts plus sum and count.
+
+    ``buckets`` are the (strictly increasing) upper bounds; an implicit
+    ``+Inf`` bucket catches the tail, as in Prometheus.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.bucket_counts = [0] * (len(buckets) + 1)  # [+Inf] last
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """Cumulative ``(le, count)`` pairs, Prometheus-style."""
+        out: list[tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            out.append((_format_number(bound), running))
+        out.append(("+Inf", running + self.bucket_counts[-1]))
+        return out
+
+
+_KIND_CTOR = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and per-label children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] = DEFAULT_TICK_BUCKETS,
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if kind not in _KIND_CTOR:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if kind == "histogram":
+            if not buckets or list(buckets) != sorted(set(buckets)):
+                raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(float(b) for b in buckets)
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    def labels(self, **label_values: Any):
+        """The child series for one label-value combination (cached)."""
+        if set(label_values) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        key = tuple(str(label_values[k]) for k in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = (
+                Histogram(self.buckets)
+                if self.kind == "histogram"
+                else _KIND_CTOR[self.kind]()
+            )
+            self._children[key] = child
+        return child
+
+    @property
+    def children(self) -> dict[tuple[str, ...], Any]:
+        return dict(self._children)
+
+
+def _format_number(v: float) -> str:
+    """Render floats that hold integers without the trailing ``.0``."""
+    return str(int(v)) if float(v).is_integer() else repr(float(v))
+
+
+def _label_str(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in zip(names, values))
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """Holds metric families; renders Prometheus text and JSON snapshots."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Iterable[str],
+        buckets: tuple[float, ...] = DEFAULT_TICK_BUCKETS,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != tuple(label_names):
+                raise ValueError(
+                    f"metric {name!r} already registered with a different schema"
+                )
+            return existing
+        family = MetricFamily(name, kind, help_text, tuple(label_names), buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", label_names: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help_text, label_names)
+
+    def gauge(
+        self, name: str, help_text: str = "", label_names: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help_text, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Iterable[str] = (),
+        buckets: tuple[float, ...] = DEFAULT_TICK_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help_text, label_names, buckets)
+
+    def families(self) -> tuple[MetricFamily, ...]:
+        return tuple(self._families[name] for name in sorted(self._families))
+
+    # -- exposition ------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dict of every series (labels flattened to strings)."""
+        out: dict[str, Any] = {"kind": "metrics_snapshot", "metrics": {}}
+        for family in self.families():
+            series = []
+            for values, child in sorted(family.children.items()):
+                labels = dict(zip(family.label_names, values))
+                if family.kind == "histogram":
+                    series.append(
+                        {
+                            "labels": labels,
+                            "buckets": [
+                                {"le": le, "count": n} for le, n in child.cumulative()
+                            ],
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out["metrics"][family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": series,
+            }
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values, child in sorted(family.children.items()):
+                labels = _label_str(family.label_names, values)
+                if family.kind == "histogram":
+                    for le, n in child.cumulative():
+                        bucket_labels = _label_str(
+                            family.label_names + ("le",), values + (le,)
+                        )
+                        lines.append(f"{family.name}_bucket{bucket_labels} {n}")
+                    lines.append(
+                        f"{family.name}_sum{labels} {_format_number(child.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{labels} {child.count}")
+                else:
+                    lines.append(
+                        f"{family.name}{labels} {_format_number(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricsSink:
+    """Trace-bus sink feeding a :class:`MetricsRegistry`.
+
+    One sink instruments one run; ``design`` stamps every series so
+    snapshots from different arrays can be merged into one registry.
+    The naming scheme (documented in ``docs/observability.md``):
+
+    * ``repro_trace_events_total{design,kind}`` — every bus event;
+    * ``repro_pe_events_total{design,pe,kind}`` — PE-occupying events
+      (``op``/``shift``/``broadcast`` with a real PE index);
+    * ``repro_io_events_total{design,direction}`` — port transfers
+      (direction parsed from the ``in:``/``out:`` label convention);
+    * ``repro_phase_transitions_total{design}`` and
+      ``repro_current_phase{design}`` — control-phase progress;
+    * ``repro_tick_high_water{design}`` — largest tick observed;
+    * ``repro_event_tick{design,kind}`` — fixed-bucket histogram of the
+      tick each event landed on (the space-time *when*).
+    """
+
+    def __init__(self, design: str, registry: MetricsRegistry | None = None):
+        self.design = design
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._events = r.counter(
+            "repro_trace_events_total", "Trace-bus events seen", ("design", "kind")
+        )
+        self._pe_events = r.counter(
+            "repro_pe_events_total",
+            "PE-occupying cell events",
+            ("design", "pe", "kind"),
+        )
+        self._io = r.counter(
+            "repro_io_events_total", "I/O port transfer events", ("design", "direction")
+        )
+        self._phases = r.counter(
+            "repro_phase_transitions_total", "Control-phase changes", ("design",)
+        )
+        self._phase_gauge = r.gauge(
+            "repro_current_phase", "Phase index of the latest phase event", ("design",)
+        )
+        self._tick_gauge = r.gauge(
+            "repro_tick_high_water", "Largest event tick observed", ("design",)
+        )
+        self._tick_hist = r.histogram(
+            "repro_event_tick", "Tick each event landed on", ("design", "kind")
+        )
+
+    def __call__(self, event: TraceEvent) -> None:
+        design = self.design
+        self._events.labels(design=design, kind=event.kind).inc()
+        self._tick_hist.labels(design=design, kind=event.kind).observe(event.tick)
+        gauge = self._tick_gauge.labels(design=design)
+        if event.tick > gauge.value:
+            gauge.set(event.tick)
+        if event.kind in CELL_KINDS and event.pe >= 0:
+            self._pe_events.labels(
+                design=design, pe=event.pe, kind=event.kind
+            ).inc()
+        elif event.kind == "io":
+            direction = event.label.split(":", 1)[0]
+            if direction not in ("in", "out"):
+                direction = "io"
+            self._io.labels(design=design, direction=direction).inc()
+        elif event.kind == "phase":
+            self._phases.labels(design=design).inc()
+            self._phase_gauge.labels(design=design).set(event.phase)

@@ -1,0 +1,337 @@
+"""Per-PE busy/idle timelines folded from the trace bus.
+
+The paper's utilization claims (eq. 9, the Fig. 5 PU ≈ 1 argument) are
+statements about *where in space-time the idle cycles live*.  A
+:class:`TimelineSink` subscribed to a machine's event bus reconstructs
+exactly that view for any of the array designs:
+
+* **busy ticks** — ticks a PE spent in a shift-multiply-accumulate slot
+  (``op`` events; one per busy tick by the wiring invariant the test
+  suite enforces), matching :attr:`RunReport.pe_busy_ticks` exactly;
+* **occupied ticks** — busy ticks plus pure transit (``shift``) and bus
+  (``broadcast``) cells, the cells a space-time diagram draws;
+* **phases** — the control-phase spans (``phase`` events) that the
+  Fig. 3/4 overlapped schedule interleaves;
+* **renderings** — an ASCII space-time occupancy heatmap that scales to
+  long schedules by binning ticks (generalizing
+  :mod:`repro.systolic.spacetime`, which draws one labelled column per
+  tick), and a measured-vs-paper PU breakdown per phase.
+
+The sink stores raw events and derives everything lazily, so it adds
+one list-append per event while the simulation runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Iterable
+
+from ..systolic.fabric import CELL_KINDS, RunReport, TraceEvent
+
+__all__ = ["PhaseSpan", "TimelineSink", "paper_reference_pu"]
+
+#: Default character ramp for occupancy heatmaps (space = idle).
+HEAT_RAMP = " .:-=+*#%@"
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseSpan:
+    """One control phase: index, label, and 1-based [start, end] ticks."""
+
+    index: int
+    label: str
+    start: int
+    end: int  # inclusive; the last phase ends at the schedule's last tick
+
+    @property
+    def length(self) -> int:
+        return max(self.end - self.start + 1, 0)
+
+
+class TimelineSink:
+    """Collecting sink that folds bus events into per-PE timelines."""
+
+    def __init__(self, design: str | None = None):
+        self.design = design
+        self._events: list[TraceEvent] = []
+
+    def __call__(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    # -- raw access ------------------------------------------------------
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Ingest a pre-recorded event stream (e.g. from a saved run)."""
+        self._events.extend(events)
+
+    # -- derived geometry ------------------------------------------------
+    @property
+    def num_pes(self) -> int:
+        """1 + the largest PE index seen on a cell event (0 when none)."""
+        pes = [e.pe for e in self._events if e.pe >= 0]
+        return max(pes) + 1 if pes else 0
+
+    @property
+    def last_tick(self) -> int:
+        """The largest tick on any event (0 when empty)."""
+        return max((e.tick for e in self._events), default=0)
+
+    def _cells(self, kinds: frozenset[str]) -> set[tuple[int, int]]:
+        return {
+            (e.pe, e.tick)
+            for e in self._events
+            if e.kind in kinds and e.pe >= 0
+        }
+
+    def busy_cells(self) -> set[tuple[int, int]]:
+        """(pe, tick) pairs where a PE performed work (``op`` events)."""
+        return self._cells(frozenset({"op"}))
+
+    def occupied_cells(self) -> set[tuple[int, int]]:
+        """(pe, tick) pairs where a PE held any datum (all cell kinds)."""
+        return self._cells(CELL_KINDS)
+
+    def busy_ticks_per_pe(self, num_pes: int | None = None) -> tuple[int, ...]:
+        """Busy-tick count per PE; equals ``RunReport.pe_busy_ticks``."""
+        n = self.num_pes if num_pes is None else num_pes
+        counts = [0] * n
+        for pe, _tick in self.busy_cells():
+            if pe < n:
+                counts[pe] += 1
+        return tuple(counts)
+
+    def intervals(self, pe: int) -> list[tuple[int, int]]:
+        """Merged [start, end] occupied intervals (inclusive) of one PE."""
+        ticks = sorted(t for p, t in self.occupied_cells() if p == pe)
+        out: list[tuple[int, int]] = []
+        for t in ticks:
+            if out and t == out[-1][1] + 1:
+                out[-1] = (out[-1][0], t)
+            else:
+                out.append((t, t))
+        return out
+
+    def busy_fraction(
+        self, wall_ticks: int | None = None, num_pes: int | None = None
+    ) -> float:
+        """Mean fraction of wall ticks each PE spent busy (0.0 if empty)."""
+        n = self.num_pes if num_pes is None else num_pes
+        ticks = self.last_tick if wall_ticks is None else wall_ticks
+        denom = n * ticks
+        return len(self.busy_cells()) / denom if denom else 0.0
+
+    # -- phases ----------------------------------------------------------
+    def phases(self, total_ticks: int | None = None) -> list[PhaseSpan]:
+        """Phase spans from ``phase`` events; empty for unphased designs.
+
+        Each span ends one tick before the next phase starts; the last
+        spans to ``total_ticks`` (default: the last event tick).
+        """
+        marks = [e for e in self._events if e.kind == "phase"]
+        end_of_schedule = self.last_tick if total_ticks is None else total_ticks
+        spans: list[PhaseSpan] = []
+        for i, e in enumerate(marks):
+            end = marks[i + 1].tick - 1 if i + 1 < len(marks) else end_of_schedule
+            spans.append(PhaseSpan(index=e.phase, label=e.label, start=e.tick, end=end))
+        return spans
+
+    def phase_table(
+        self,
+        *,
+        iterations: int | None = None,
+        num_pes: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Per-phase occupancy rows (busy ticks grouped by event phase).
+
+        Busy events are attributed to the phase *stamped on the event*
+        (not the tick window), so the Fig. 3 overlapped schedule — where
+        a phase's skewed tail spills into the next phase's window —
+        still accounts each operation to the phase that issued it.
+        Designs without phase structure get one implicit phase 0.
+        """
+        n = self.num_pes if num_pes is None else num_pes
+        total = self.last_tick if iterations is None else iterations
+        spans = self.phases(total_ticks=total)
+        if not spans:
+            spans = [PhaseSpan(index=0, label="run", start=1, end=total)]
+        # Deduplicate by (pe, tick): several op events can land on one
+        # busy tick (e.g. the Fig. 5 F₀ sweep folds m alternatives per
+        # tick), and "busy ticks" must match the RunReport accounting.
+        busy_by_phase: dict[int, set[tuple[int, int]]] = {}
+        for e in self._events:
+            if e.kind == "op" and e.pe >= 0:
+                busy_by_phase.setdefault(e.phase, set()).add((e.pe, e.tick))
+        rows: list[dict[str, Any]] = []
+        for span in spans:
+            busy = len(busy_by_phase.get(span.index, ()))
+            slots = span.length * n
+            rows.append(
+                {
+                    "phase": span.index,
+                    "label": span.label,
+                    "start": span.start,
+                    "length": span.length,
+                    "busy_ticks": busy,
+                    "slots": slots,
+                    "occupancy": busy / slots if slots else 0.0,
+                }
+            )
+        return rows
+
+    # -- PU accounting ---------------------------------------------------
+    def pu_breakdown(self, report: RunReport | None = None) -> dict[str, Any]:
+        """Measured-vs-paper utilization summary.
+
+        With a :class:`RunReport` the breakdown includes the serial-ops
+        PU (the paper's definition) and the matching closed form when
+        the design has one (eq. 9 for the Fig. 3/4 arrays, the Fig. 5
+        expression for the feedback array); without one it reports the
+        timeline-only occupancy figures.
+        """
+        num_pes = report.num_pes if report is not None else self.num_pes
+        iterations = report.iterations if report is not None else self.last_tick
+        table = self.phase_table(iterations=iterations, num_pes=num_pes)
+        out: dict[str, Any] = {
+            "design": report.design if report is not None else self.design,
+            "num_pes": num_pes,
+            "iterations": iterations,
+            "busy_ticks": len(self.busy_cells()),
+            "occupied_ticks": len(self.occupied_cells()),
+            "phases": table,
+        }
+        denom = iterations * num_pes
+        out["cell_pu"] = out["busy_ticks"] / denom if denom else 0.0
+        if report is not None:
+            out["measured_pu"] = report.processor_utilization
+            out["busy_fraction"] = self.busy_fraction(
+                wall_ticks=report.wall_ticks, num_pes=num_pes
+            )
+            out.update(paper_reference_pu(report, num_phases=len(self.phases())))
+        return out
+
+    # -- renderings ------------------------------------------------------
+    def render_spacetime(
+        self, num_pes: int | None = None, num_ticks: int | None = None
+    ) -> str:
+        """The classic labelled space-time diagram (one column per tick)."""
+        from ..systolic.spacetime import render_spacetime
+
+        n = self.num_pes if num_pes is None else num_pes
+        ticks = self.last_tick if num_ticks is None else num_ticks
+        return render_spacetime(self._events, n, ticks)
+
+    def render_heatmap(
+        self,
+        *,
+        num_pes: int | None = None,
+        num_ticks: int | None = None,
+        max_width: int = 72,
+        ramp: str = HEAT_RAMP,
+    ) -> str:
+        """ASCII space-time occupancy heatmap (PEs × binned ticks).
+
+        Unlike the labelled diagram, long schedules stay readable: ticks
+        are folded into at most ``max_width`` columns and each cell's
+        character encodes the fraction of its bin the PE spent occupied
+        (idle = ``ramp[0]``, fully occupied = ``ramp[-1]``).  A ruler
+        row marks where each control phase begins.
+        """
+        n = self.num_pes if num_pes is None else num_pes
+        ticks = max(self.last_tick if num_ticks is None else num_ticks, 1)
+        if n < 1:
+            return "(no PE activity traced)"
+        if max_width < 1:
+            raise ValueError("max_width must be positive")
+        bin_size = math.ceil(ticks / max_width)
+        cols = math.ceil(ticks / bin_size)
+        occupied = self.occupied_cells()
+        label_w = len(f"P{n}")
+        lines = [
+            f"space-time occupancy: {n} PEs x {ticks} ticks "
+            f"({bin_size} tick{'s' if bin_size > 1 else ''}/col, ramp {ramp!r})"
+        ]
+        spans = self.phases(total_ticks=ticks)
+        if spans:
+            ruler = [" "] * cols
+            for span in spans:
+                col = min((span.start - 1) // bin_size, cols - 1)
+                ruler[col] = "|"
+            lines.append(" " * (label_w + 1) + "".join(ruler))
+        for pe in range(n):
+            row = []
+            for c in range(cols):
+                lo, hi = c * bin_size + 1, min((c + 1) * bin_size, ticks)
+                hits = sum(1 for t in range(lo, hi + 1) if (pe, t) in occupied)
+                frac = hits / (hi - lo + 1)
+                level = 0 if hits == 0 else max(1, round(frac * (len(ramp) - 1)))
+                row.append(ramp[level])
+            lines.append(f"P{pe + 1}".ljust(label_w) + " " + "".join(row))
+        if spans:
+            lines.append(
+                "phases: "
+                + "  ".join(f"|{s.index}:{s.label}@t{s.start}" for s in spans)
+            )
+        return "\n".join(lines)
+
+    # -- persistence -----------------------------------------------------
+    def to_json(self, report: RunReport | None = None) -> dict[str, Any]:
+        """JSON-able timeline record (per-PE intervals, phases, busy counts)."""
+        num_pes = report.num_pes if report is not None else self.num_pes
+        busy = self.busy_ticks_per_pe(num_pes)
+        out: dict[str, Any] = {
+            "kind": "telemetry_timeline",
+            "design": report.design if report is not None else self.design,
+            "num_pes": num_pes,
+            "num_ticks": self.last_tick,
+            "phases": [dataclasses.asdict(s) for s in self.phases()],
+            "pes": [
+                {
+                    "pe": pe,
+                    "busy_ticks": busy[pe] if pe < len(busy) else 0,
+                    "intervals": [list(iv) for iv in self.intervals(pe)],
+                }
+                for pe in range(num_pes)
+            ],
+        }
+        if report is not None:
+            out["pu"] = self.pu_breakdown(report)
+        return out
+
+
+def paper_reference_pu(report: RunReport, *, num_phases: int) -> dict[str, float]:
+    """The paper's closed-form PU for designs that have one.
+
+    Returns ``paper_pu`` (the formula as printed) and, for the Fig. 3/4
+    arrays, ``paper_pu_measured_convention`` — eq. (9) rescaled by the
+    ``N/(N−1)`` iteration-convention factor (the paper counts ``N·m``
+    iterations where the walkthrough's schedule runs ``(N−1)·m``; see
+    ``benchmarks/bench_eq9_pipeline_pu.py``), which is what the
+    simulators measure exactly.  Empty for designs without a quoted form.
+    """
+    m = report.num_pes
+    if report.design in ("fig3-pipelined", "fig4-broadcast") and num_phases >= 2 and m:
+        n_layers = num_phases + 1
+        # Eq. (9) is quoted for the single-source/sink shape only (stage
+        # sizes [1, m, …, m, 1]), whose uniprocessor count is
+        # (N−2)·m² + m; a different serial count means a different graph
+        # shape, for which the paper states no closed form.
+        if report.serial_ops == (n_layers - 2) * m * m + m:
+            from ..core.metrics import eq9_pu
+
+            paper = eq9_pu(n_layers, m)
+            return {
+                "paper_pu": paper,
+                "paper_pu_measured_convention": paper * n_layers / (n_layers - 1),
+            }
+        return {}
+    if report.design == "fig5-feedback" and m and report.iterations % m == 0:
+        from ..systolic.feedback_array import feedback_pu
+
+        n_stages = report.iterations // m - 1
+        if n_stages >= 1:
+            return {"paper_pu": feedback_pu(n_stages, m)}
+    return {}

@@ -1,0 +1,119 @@
+"""Lightweight wall-clock timing spans (``perf_counter_ns``).
+
+The RTL backends produce cycle-level telemetry through the trace bus,
+but the vectorized fast backends never tick a machine — whole phases
+collapse into a handful of NumPy reductions.  To keep the two backends
+comparable, :func:`~repro.systolic.fabric.run_with_backend` wraps every
+backend invocation in a :func:`span`, so a run under
+:func:`collect_timings` yields named nanosecond timings
+(``<design>.backend.rtl`` / ``<design>.backend.fast``) regardless of
+which engine executed.
+
+The module is deliberately dependency-free (stdlib only) and the
+no-collector path is a single module-level list check returning a shared
+no-op context manager, so instrumented code pays nothing when timing is
+off — the same "free when unsubscribed" guarantee the event bus makes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Any, Iterator
+
+__all__ = ["TimingCollector", "collect_timings", "active_collector", "span"]
+
+#: Stack of installed collectors; :func:`span` records into the top one.
+_STACK: list["TimingCollector"] = []
+
+
+class TimingCollector:
+    """Accumulates named wall-clock spans, in nanoseconds."""
+
+    def __init__(self) -> None:
+        self.spans: dict[str, list[int]] = {}
+
+    def record(self, name: str, elapsed_ns: int) -> None:
+        """Append one span measurement under ``name``."""
+        self.spans.setdefault(name, []).append(int(elapsed_ns))
+
+    def total_ns(self, name: str) -> int:
+        """Total nanoseconds recorded under ``name`` (0 if absent)."""
+        return sum(self.spans.get(name, ()))
+
+    def summary(self) -> dict[str, dict[str, Any]]:
+        """JSON-able per-span statistics: count, total/mean/max seconds."""
+        out: dict[str, dict[str, Any]] = {}
+        for name in sorted(self.spans):
+            values = self.spans[name]
+            total = sum(values)
+            out[name] = {
+                "count": len(values),
+                "total_seconds": total / 1e9,
+                "mean_seconds": total / len(values) / 1e9,
+                "max_seconds": max(values) / 1e9,
+            }
+        return out
+
+
+def active_collector() -> TimingCollector | None:
+    """The collector spans currently record into, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextlib.contextmanager
+def collect_timings(
+    collector: TimingCollector | None = None,
+) -> Iterator[TimingCollector]:
+    """Install ``collector`` (or a fresh one) for the dynamic extent.
+
+    Collectors nest; :func:`span` records into the innermost one only.
+    """
+    c = collector if collector is not None else TimingCollector()
+    _STACK.append(c)
+    try:
+        yield c
+    finally:
+        _STACK.remove(c)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the collector-off fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "collector", "_start")
+
+    def __init__(self, name: str, collector: TimingCollector):
+        self.name = name
+        self.collector = collector
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.collector.record(self.name, time.perf_counter_ns() - self._start)
+        return False
+
+
+def span(name: str):
+    """Context manager timing ``name`` into the active collector.
+
+    Returns a shared no-op when no collector is installed, so callers
+    can wrap hot code unconditionally.
+    """
+    if not _STACK:
+        return _NULL_SPAN
+    return _Span(name, _STACK[-1])

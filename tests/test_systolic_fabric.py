@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.systolic import ArrayStats, ProcessingElement, Register, RunReport, SystolicError
-from repro.systolic.fabric import finalize_report
+from repro.systolic.fabric import EventBus, SystolicMachine, TraceEvent, finalize_report
 
 
 class TestRegister:
@@ -98,3 +98,59 @@ class TestReports:
     def test_busy_fraction(self):
         rep = self.make_report()
         assert rep.busy_fraction == pytest.approx(3 / (10 * 3))
+
+
+class TestEventBusReentrancy:
+    """Regression: sinks that mutate the subscription list during emit.
+
+    ``EventBus.emit`` must iterate over a snapshot — a sink that
+    unsubscribes itself (one-shot sinks) or subscribes another sink
+    mid-delivery previously mutated ``self._sinks`` under the loop,
+    skipping sinks or delivering to half-registered ones.
+    """
+
+    def _event(self, tick: int = 1) -> TraceEvent:
+        return TraceEvent(tick=tick, pe=0, kind="op", label="x")
+
+    def test_sink_unsubscribing_itself_does_not_skip_others(self):
+        bus = EventBus()
+        seen: list[str] = []
+        unsubscribe_holder: list = []
+
+        def one_shot(event: TraceEvent) -> None:
+            seen.append("one_shot")
+            unsubscribe_holder[0]()  # remove self while emit iterates
+
+        unsubscribe_holder.append(bus.subscribe(one_shot))
+        bus.subscribe(lambda event: seen.append("stable"))
+        bus.emit(self._event())
+        # Pre-fix the list shifted under the loop and "stable" was skipped.
+        assert seen == ["one_shot", "stable"]
+        bus.emit(self._event(2))
+        assert seen == ["one_shot", "stable", "stable"]
+
+    def test_sink_subscribing_new_sink_sees_next_event_only(self):
+        bus = EventBus()
+        seen: list[tuple[str, int]] = []
+
+        def late(event: TraceEvent) -> None:
+            seen.append(("late", event.tick))
+
+        def spawner(event: TraceEvent) -> None:
+            seen.append(("spawner", event.tick))
+            if event.tick == 1:
+                bus.subscribe(late)
+
+        bus.subscribe(spawner)
+        bus.emit(self._event(1))
+        assert seen == [("spawner", 1)]  # late sink not retro-delivered
+        bus.emit(self._event(2))
+        assert seen == [("spawner", 1), ("spawner", 2), ("late", 2)]
+
+    def test_machine_accepts_external_sinks(self):
+        collected: list[TraceEvent] = []
+        machine = SystolicMachine("test", sinks=[collected.append])
+        machine.add_pes(1)
+        machine.emit("op", 0, "x")
+        assert [e.label for e in collected] == ["x"]
+        assert machine.tracing  # external sinks activate the bus

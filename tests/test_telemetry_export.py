@@ -1,0 +1,263 @@
+"""Chrome-trace export, run comparison, timing spans, and persistence."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.graphs import fig1b_problem
+from repro.systolic import FeedbackSystolicArray, PipelinedMatrixStringArray
+from repro.systolic.fabric import TraceEvent
+from repro.telemetry import (
+    MetricsSink,
+    RunComparison,
+    TimelineSink,
+    chrome_trace,
+    collect_timings,
+    span,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.compare import flatten_metrics, flatten_report
+from repro.telemetry.export import TICK_USECS
+
+
+def _matrix_string(rng, n, m):
+    mats = [rng.uniform(0, 9, size=(m, m)) for _ in range(n - 1)]
+    mats.append(rng.uniform(0, 9, size=(m, 1)))
+    return mats
+
+
+def _traced_pipelined():
+    rng = np.random.default_rng(13)
+    return PipelinedMatrixStringArray().run(
+        _matrix_string(rng, 4, 3), record_trace=True
+    )
+
+
+class TestChromeTrace:
+    def test_structure_matches_run(self):
+        res = _traced_pipelined()
+        data = chrome_trace(res.events, design="fig3-pipelined")
+        events = data["traceEvents"]
+        assert data["displayTimeUnit"] == "ms"
+
+        names = {
+            ev["tid"]: ev["args"]["name"]
+            for ev in events
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        # One lane per PE plus the array-level lane.
+        assert names == {
+            **{pe: f"PE{pe + 1}" for pe in range(res.report.num_pes)},
+            res.report.num_pes: "array",
+        }
+
+        cells = [ev for ev in events if ev["ph"] == "X"]
+        assert len(cells) == sum(
+            1 for e in res.events if e.kind in ("op", "shift", "broadcast")
+            and e.pe >= 0
+        )
+        for ev in cells:
+            assert ev["dur"] == TICK_USECS
+            assert ev["ts"] == (ev["args"]["tick"] - 1) * TICK_USECS
+
+        begins = [ev for ev in events if ev["ph"] == "b"]
+        ends = [ev for ev in events if ev["ph"] == "e"]
+        n_phase_marks = sum(1 for e in res.events if e.kind == "phase")
+        assert len(begins) == len(ends) == n_phase_marks
+        assert sorted(ev["id"] for ev in begins) == sorted(
+            ev["id"] for ev in ends
+        )
+
+        instants = [ev for ev in events if ev["ph"] == "i"]
+        assert len(instants) == sum(1 for e in res.events if e.kind == "io")
+        assert all(ev["tid"] == res.report.num_pes for ev in instants)
+
+    def test_validator_accepts_all_designs(self):
+        rng = np.random.default_rng(17)
+        runs = [
+            PipelinedMatrixStringArray().run(
+                _matrix_string(rng, 4, 3), record_trace=True
+            ),
+            FeedbackSystolicArray().run(fig1b_problem(), record_trace=True),
+        ]
+        for res in runs:
+            stats = validate_chrome_trace(chrome_trace(res.events))
+            assert stats["events"] > 0
+            assert stats["lanes"] == res.report.num_pes + 1
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"foo": []})
+        with pytest.raises(ValueError, match="missing 'dur'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "ts": 0, "pid": 1, "tid": 0,
+                                  "name": "x"}]}
+            )
+        with pytest.raises(ValueError, match="non-positive duration"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "ts": 0, "dur": 0, "pid": 1,
+                                  "tid": 0, "name": "x"}]}
+            )
+        with pytest.raises(ValueError, match="no open b span"):
+            validate_chrome_trace({"traceEvents": [{"ph": "e", "id": 3}]})
+        with pytest.raises(ValueError, match="unterminated"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "b", "id": 3, "ts": 0}]}
+            )
+        with pytest.raises(ValueError, match="unnamed lanes"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "i", "ts": 0, "pid": 1, "tid": 9,
+                                  "name": "x"}]}
+            )
+
+    def test_write_round_trips(self, tmp_path):
+        res = _traced_pipelined()
+        out = tmp_path / "trace.json"
+        written = write_chrome_trace(out, res.events, design="fig3-pipelined")
+        loaded = json.loads(out.read_text())
+        assert loaded == written
+        validate_chrome_trace(loaded)
+
+
+class TestTimingSpans:
+    def test_span_is_noop_without_collector(self):
+        # No collector installed: the shared null span, nothing recorded.
+        cm = span("anything")
+        with cm:
+            pass
+        assert span("other") is cm  # same shared object every time
+
+    def test_backend_calls_timed_under_collector(self):
+        rng = np.random.default_rng(19)
+        mats = _matrix_string(rng, 4, 3)
+        with collect_timings() as timings:
+            PipelinedMatrixStringArray().run(mats, backend="rtl")
+            PipelinedMatrixStringArray().run(mats, backend="fast")
+        summary = timings.summary()
+        assert summary["fig3-pipelined.backend.rtl"]["count"] == 1
+        assert summary["fig3-pipelined.backend.fast"]["count"] == 1
+        for stats in summary.values():
+            assert stats["total_seconds"] > 0
+            assert stats["max_seconds"] <= stats["total_seconds"]
+        json.dumps(summary)
+
+    def test_collectors_nest_innermost_wins(self):
+        with collect_timings() as outer:
+            with collect_timings() as inner:
+                with span("x"):
+                    pass
+            assert "x" in inner.spans
+            assert "x" not in outer.spans
+
+
+class TestRunComparison:
+    def test_rtl_vs_fast_counters_agree(self):
+        rng = np.random.default_rng(23)
+        mats = _matrix_string(rng, 4, 3)
+        rtl = PipelinedMatrixStringArray().run(mats, backend="rtl")
+        fast = PipelinedMatrixStringArray().run(mats, backend="fast")
+        cmp = RunComparison.from_reports(rtl.report, fast.report)
+        changed = [d.name for d in cmp.deltas(only_changed=True)]
+        # The cross-backend contract: every diffed counter agrees.
+        assert changed == []
+
+    def test_deltas_and_render(self):
+        cmp = RunComparison("a", "b", {"x": 2.0, "y": 1.0}, {"x": 3.0, "z": 4.0})
+        by_name = {d.name: d for d in cmp.deltas()}
+        assert by_name["x"].delta == 1.0
+        assert by_name["x"].pct == pytest.approx(50.0)
+        assert by_name["y"].b is None and by_name["y"].changed
+        assert by_name["z"].a is None
+        text = cmp.render()
+        lines = text.splitlines()
+        assert lines[0].split() == ["metric", "a", "b", "delta", "delta%"]
+        assert any(ln.startswith("x") and "+50.00%" in ln for ln in lines)
+        only = cmp.render(only_changed=True)
+        assert "x" in only
+
+    def test_from_files_with_telemetry_payloads(self, tmp_path):
+        rng = np.random.default_rng(29)
+        mats = _matrix_string(rng, 4, 3)
+        sink = MetricsSink("fig3-pipelined")
+        with collect_timings() as timings:
+            res = PipelinedMatrixStringArray().run(
+                mats, record_trace=True, sinks=[sink]
+            )
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        repro_io.save_run(
+            path_a,
+            res.report,
+            res.events,
+            metrics=sink.registry.snapshot(),
+            timings=timings.summary(),
+        )
+        repro_io.save_run(path_b, res.report, res.events)
+        cmp = RunComparison.from_files(path_a, path_b)
+        assert cmp.label_a == "a.json"
+        names = {d.name for d in cmp.deltas()}
+        assert "processor_utilization" in names
+        assert any(n.startswith("repro_trace_events_total") for n in names)
+        assert any(n.startswith("timing:") for n in names)
+        # Report scalars are identical; telemetry is one-sided.
+        for d in cmp.deltas():
+            if d.name in flatten_report(res.report):
+                assert not d.changed
+
+    def test_flatten_metrics_histograms_to_count_and_sum(self):
+        sink = MetricsSink("d")
+        sink(TraceEvent(tick=3, pe=0, kind="op", label="x"))
+        flat = flatten_metrics(sink.registry.snapshot())
+        assert flat['repro_event_tick_count{design="d",kind="op"}'] == 1.0
+        assert flat['repro_event_tick_sum{design="d",kind="op"}'] == 3.0
+        assert not any("_bucket" in name for name in flat)
+
+
+class TestRunRecordIO:
+    def test_save_run_without_telemetry_has_no_new_keys(self, tmp_path):
+        res = _traced_pipelined()
+        path = tmp_path / "run.json"
+        repro_io.save_run(path, res.report, res.events)
+        data = json.loads(path.read_text())
+        assert "metrics" not in data and "timings" not in data
+        report, events = repro_io.load_run(path)
+        assert report == res.report
+        assert events == res.events
+
+    def test_load_run_record_round_trips_telemetry(self, tmp_path):
+        res = _traced_pipelined()
+        sink = MetricsSink(res.report.design)
+        for e in res.events:
+            sink(e)
+        path = tmp_path / "run.json"
+        repro_io.save_run(
+            path, res.report, res.events, metrics=sink.registry.snapshot(),
+            timings={"x": {"count": 1, "total_seconds": 0.5,
+                           "mean_seconds": 0.5, "max_seconds": 0.5}},
+        )
+        rec = repro_io.load_run_record(path)
+        assert rec.report == res.report
+        assert rec.events == res.events
+        assert rec.metrics == sink.registry.snapshot()
+        assert rec.timings["x"]["count"] == 1
+        # load_run keeps its legacy 2-tuple shape on telemetry files too.
+        report, events = repro_io.load_run(path)
+        assert report == res.report
+
+
+class TestTimelineFromSavedEvents:
+    def test_extend_reconstructs_timeline_offline(self, tmp_path):
+        res = _traced_pipelined()
+        path = tmp_path / "run.json"
+        repro_io.save_run(path, res.report, res.events)
+        rec = repro_io.load_run_record(path)
+        timeline = TimelineSink(rec.report.design)
+        timeline.extend(rec.events)
+        assert timeline.busy_ticks_per_pe(rec.report.num_pes) == (
+            rec.report.pe_busy_ticks
+        )

@@ -1,0 +1,152 @@
+"""Unit tests for the metrics registry and the trace-bus metrics sink."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphs import fig1b_problem
+from repro.systolic import FeedbackSystolicArray, PipelinedMatrixStringArray
+from repro.systolic.fabric import TraceEvent
+from repro.telemetry import MetricsRegistry, MetricsSink
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+    def test_histogram_buckets_and_tail(self):
+        h = Histogram((1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        # bisect_left puts v == bound into that bucket (le semantics).
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.cumulative() == [("1", 2), ("10", 3), ("+Inf", 4)]
+        assert h.sum == pytest.approx(106.5)
+        assert h.count == 4
+
+
+class TestRegistry:
+    def test_label_schema_enforced(self):
+        r = MetricsRegistry()
+        fam = r.counter("repro_test_total", "help", ("design",))
+        fam.labels(design="x").inc()
+        with pytest.raises(ValueError):
+            fam.labels(wrong="x")
+        with pytest.raises(ValueError):
+            r.gauge("repro_test_total")  # same name, different schema/kind
+
+    def test_reregistration_returns_same_family(self):
+        r = MetricsRegistry()
+        a = r.counter("repro_events_total", "h", ("kind",))
+        b = r.counter("repro_events_total", "h", ("kind",))
+        assert a is b
+
+    def test_invalid_names_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.counter("bad name")
+        with pytest.raises(ValueError):
+            r.counter("ok_name", label_names=("bad-label",))
+        with pytest.raises(ValueError):
+            r.histogram("h", buckets=(2.0, 1.0))  # not increasing
+
+    def test_snapshot_is_jsonable_and_sorted(self):
+        r = MetricsRegistry()
+        r.counter("repro_b_total").labels().inc(2)
+        r.gauge("repro_a").labels().set(7)
+        snap = r.snapshot()
+        json.dumps(snap)  # must be serializable as-is
+        assert snap["kind"] == "metrics_snapshot"
+        assert list(snap["metrics"]) == ["repro_a", "repro_b_total"]
+        assert snap["metrics"]["repro_b_total"]["series"][0]["value"] == 2
+
+    def test_prometheus_text_format(self):
+        r = MetricsRegistry()
+        r.counter("repro_ops_total", "ops", ("design",)).labels(design="fig3").inc(5)
+        r.histogram("repro_tick", "ticks", ("kind",), buckets=(4.0,)).labels(
+            kind="op"
+        ).observe(3)
+        text = r.to_prometheus()
+        assert "# HELP repro_ops_total ops" in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert 'repro_ops_total{design="fig3"} 5' in text
+        assert 'repro_tick_bucket{kind="op",le="4"} 1' in text
+        assert 'repro_tick_bucket{kind="op",le="+Inf"} 1' in text
+        assert 'repro_tick_count{kind="op"} 1' in text
+        assert text.endswith("\n")
+
+
+class TestMetricsSink:
+    def _run_traced(self):
+        rng = np.random.default_rng(3)
+        mats = [rng.integers(0, 9, size=(3, 3)).astype(float) for _ in range(3)]
+        mats.append(rng.integers(0, 9, size=(3, 1)).astype(float))
+        sink = MetricsSink("fig3-pipelined")
+        res = PipelinedMatrixStringArray().run(mats, record_trace=True, sinks=[sink])
+        return res, sink
+
+    def test_op_events_match_report_op_counts(self):
+        res, sink = self._run_traced()
+        by_name = {f.name: f for f in sink.registry.families()}
+        pe_events = by_name["repro_pe_events_total"]
+        for pe, ops in enumerate(res.report.pe_op_counts):
+            child = pe_events.labels(design="fig3-pipelined", pe=pe, kind="op")
+            assert child.value == ops
+        total = by_name["repro_trace_events_total"].labels(
+            design="fig3-pipelined", kind="op"
+        )
+        assert total.value == res.report.total_ops
+
+    def test_io_direction_parsed_from_labels(self):
+        res, sink = self._run_traced()
+        fam = {f.name: f for f in sink.registry.families()}["repro_io_events_total"]
+        directions = {k[-1] for k in fam.children}
+        assert directions == {"in", "out"}
+        counted = sum(c.value for c in fam.children.values())
+        assert counted == sum(1 for e in res.events if e.kind == "io")
+
+    def test_phase_and_tick_gauges(self):
+        res, sink = self._run_traced()
+        fams = {f.name: f for f in sink.registry.families()}
+        last_phase = fams["repro_current_phase"].labels(design="fig3-pipelined")
+        high_water = fams["repro_tick_high_water"].labels(design="fig3-pipelined")
+        assert last_phase.value == max(e.phase for e in res.events)
+        assert high_water.value == max(e.tick for e in res.events)
+
+    def test_unlabeled_broadcast_counts_as_trace_event_only(self):
+        sink = MetricsSink("d")
+        sink(TraceEvent(tick=1, pe=-1, kind="broadcast", label="bus:x"))
+        fams = {f.name: f for f in sink.registry.families()}
+        assert fams["repro_trace_events_total"].labels(
+            design="d", kind="broadcast"
+        ).value == 1
+        assert not fams["repro_pe_events_total"].children
+
+    def test_two_designs_share_one_registry(self):
+        registry = MetricsRegistry()
+        pipe_sink = MetricsSink("fig3-pipelined", registry)
+        feed_sink = MetricsSink("fig5-feedback", registry)
+        rng = np.random.default_rng(0)
+        mats = [rng.integers(0, 9, size=(2, 2)).astype(float),
+                rng.integers(0, 9, size=(2, 1)).astype(float)]
+        PipelinedMatrixStringArray().run(mats, sinks=[pipe_sink])
+        FeedbackSystolicArray().run(fig1b_problem(), sinks=[feed_sink])
+        fams = {f.name: f for f in registry.families()}
+        designs = {k[0] for k in fams["repro_trace_events_total"].children}
+        assert designs == {"fig3-pipelined", "fig5-feedback"}

@@ -1,0 +1,270 @@
+"""Timeline sink: busy accounting, phases, PU breakdowns, renderings.
+
+The load-bearing invariant — for every shipped design, the timeline the
+sink reconstructs from live bus events agrees *exactly* with the
+:class:`RunReport` busy accounting — is checked both on the fixed
+coverage set and property-style on random instances.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import eq9_pu
+from repro.graphs import fig1b_problem, single_source_sink, traffic_light_problem
+from repro.systolic import (
+    BroadcastMatrixStringArray,
+    BroadcastParenthesizer,
+    FeedbackSystolicArray,
+    MatrixChainSpec,
+    MeshMatrixMultiplier,
+    PipelinedMatrixStringArray,
+    SystolicParenthesizer,
+    TriangularArray,
+)
+from repro.systolic.feedback_array import feedback_pu
+from repro.telemetry import TimelineSink, paper_reference_pu
+
+
+def _matrix_string(rng, n, m):
+    mats = [rng.uniform(0, 9, size=(m, m)) for _ in range(n - 1)]
+    mats.append(rng.uniform(0, 9, size=(m, 1)))
+    return mats
+
+
+def _sinked_design_runs():
+    """One run per shipped design, traced through a live TimelineSink."""
+    rng = np.random.default_rng(11)
+    dims = (8, 30, 35, 15, 5, 10)
+    chain = MatrixChainSpec(dims)
+    runs = []
+
+    def run(name, fn):
+        timeline = TimelineSink(name)
+        res = fn(timeline)
+        runs.append((name, res, timeline))
+
+    run("pipelined", lambda s: PipelinedMatrixStringArray().run(
+        _matrix_string(rng, 4, 3), sinks=[s]))
+    run("broadcast", lambda s: BroadcastMatrixStringArray().run(
+        _matrix_string(rng, 4, 3), sinks=[s]))
+    run("feedback", lambda s: FeedbackSystolicArray().run(
+        fig1b_problem(), sinks=[s]))
+    run("mesh", lambda s: MeshMatrixMultiplier().run(
+        rng.uniform(0, 9, size=(3, 4)), rng.uniform(0, 9, size=(4, 2)),
+        sinks=[s]))
+    run("triangular-broadcast", lambda s: TriangularArray("broadcast").run(
+        chain, sinks=[s]))
+    run("triangular-systolic", lambda s: TriangularArray("systolic").run(
+        chain, sinks=[s]))
+    run("paren-broadcast", lambda s: BroadcastParenthesizer().run(
+        dims, sinks=[s]))
+    run("paren-systolic", lambda s: SystolicParenthesizer().run(
+        dims, sinks=[s]))
+    return runs
+
+
+class TestBusyAccounting:
+    def test_busy_ticks_match_report_every_design(self):
+        for name, res, timeline in _sinked_design_runs():
+            report = res.report
+            got = timeline.busy_ticks_per_pe(report.num_pes)
+            assert got == report.pe_busy_ticks, name
+            assert len(timeline.busy_cells()) == sum(report.pe_busy_ticks), name
+
+    def test_busy_fraction_matches_report_every_design(self):
+        for name, res, timeline in _sinked_design_runs():
+            report = res.report
+            got = timeline.busy_fraction(
+                wall_ticks=report.wall_ticks, num_pes=report.num_pes
+            )
+            assert got == pytest.approx(report.busy_fraction), name
+
+    def test_phase_table_busy_sums_to_total(self):
+        for name, res, timeline in _sinked_design_runs():
+            table = timeline.phase_table(
+                iterations=res.report.iterations, num_pes=res.report.num_pes
+            )
+            assert table, name
+            assert sum(r["busy_ticks"] for r in table) == len(
+                timeline.busy_cells()
+            ), name
+            for row in table:
+                assert 0.0 <= row["occupancy"] <= 1.0, name
+
+    def test_intervals_cover_occupied_ticks(self):
+        for name, res, timeline in _sinked_design_runs():
+            occupied = timeline.occupied_cells()
+            for pe in range(res.report.num_pes):
+                ticks = {t for p, t in occupied if p == pe}
+                from_intervals = {
+                    t
+                    for lo, hi in timeline.intervals(pe)
+                    for t in range(lo, hi + 1)
+                }
+                assert from_intervals == ticks, (name, pe)
+
+
+class TestBusyAccountingProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(2, 5),
+        m=st.integers(2, 5),
+    )
+    def test_pipelined_random_instances(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        timeline = TimelineSink()
+        res = PipelinedMatrixStringArray().run(
+            _matrix_string(rng, n, m), backend="rtl", sinks=[timeline]
+        )
+        assert timeline.busy_ticks_per_pe(res.report.num_pes) == res.report.pe_busy_ticks
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(2, 5),
+        m=st.integers(2, 5),
+    )
+    def test_feedback_random_instances(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        problem = traffic_light_problem(rng, n, m)
+        timeline = TimelineSink()
+        res = FeedbackSystolicArray().run(problem, backend="rtl", sinks=[timeline])
+        assert timeline.busy_ticks_per_pe(res.report.num_pes) == res.report.pe_busy_ticks
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(3, 6))
+    def test_paren_random_instances(self, seed, n):
+        rng = np.random.default_rng(seed)
+        dims = tuple(int(d) for d in rng.integers(2, 50, size=n + 1))
+        timeline = TimelineSink()
+        res = SystolicParenthesizer().run(dims, backend="rtl", sinks=[timeline])
+        assert timeline.busy_ticks_per_pe(res.report.num_pes) == res.report.pe_busy_ticks
+
+
+class TestTelemetryIsFree:
+    def test_results_identical_with_and_without_sinks(self):
+        # Subscribing telemetry must not perturb the computation: the
+        # answers and the report are byte-identical either way.
+        rng = np.random.default_rng(5)
+        mats = _matrix_string(rng, 4, 3)
+        plain = PipelinedMatrixStringArray().run(mats, backend="rtl")
+        traced = PipelinedMatrixStringArray().run(
+            mats, backend="rtl", sinks=[TimelineSink()]
+        )
+        np.testing.assert_array_equal(plain.value, traced.value)
+        assert plain.report == traced.report
+
+        problem = fig1b_problem()
+        plain = FeedbackSystolicArray().run(problem, backend="rtl")
+        traced = FeedbackSystolicArray().run(
+            problem, backend="rtl", sinks=[TimelineSink()]
+        )
+        assert plain.optimum == traced.optimum
+        assert plain.path == traced.path
+        assert plain.report == traced.report
+
+    def test_sinks_force_rtl_backend(self):
+        rng = np.random.default_rng(5)
+        res = PipelinedMatrixStringArray().run(
+            _matrix_string(rng, 4, 3), sinks=[TimelineSink()]
+        )
+        assert res.report.backend == "rtl"
+
+
+class TestPaperPU:
+    @pytest.mark.parametrize("n_layers,m", [(4, 3), (8, 3), (8, 8)])
+    def test_eq9_matches_measured_on_reference_sizes(self, n_layers, m):
+        # Acceptance criterion: per-phase measured PU from the timeline
+        # matches eq. (9) under the measured iteration convention on the
+        # paper's single-source/sink shape (same tolerance as the
+        # eq. (9) benchmark).
+        rng = np.random.default_rng(n_layers * 31 + m)
+        graph = single_source_sink(rng, n_layers - 1, m)
+        timeline = TimelineSink()
+        res = PipelinedMatrixStringArray().run_graph(graph, sinks=[timeline])
+        pu = timeline.pu_breakdown(res.report)
+        assert "paper_pu" in pu
+        assert pu["paper_pu"] == pytest.approx(eq9_pu(n_layers, m))
+        assert pu["measured_pu"] == pytest.approx(
+            pu["paper_pu_measured_convention"], abs=2e-4
+        )
+
+    @pytest.mark.parametrize("n_stages,m", [(4, 3), (8, 5), (6, 5)])
+    def test_fig5_form_matches_measured_exactly(self, n_stages, m):
+        rng = np.random.default_rng(n_stages * 17 + m)
+        problem = traffic_light_problem(rng, n_stages, m)
+        timeline = TimelineSink()
+        res = FeedbackSystolicArray().run(problem, sinks=[timeline])
+        pu = timeline.pu_breakdown(res.report)
+        assert pu["paper_pu"] == feedback_pu(n_stages, m)
+        assert pu["measured_pu"] == pu["paper_pu"]
+
+    def test_no_closed_form_for_dense_instances(self):
+        # A dense matrix string is not the single-source/sink shape, so
+        # no eq. (9) claim is made for it.
+        rng = np.random.default_rng(2)
+        timeline = TimelineSink()
+        res = PipelinedMatrixStringArray().run(
+            _matrix_string(rng, 4, 3), sinks=[timeline]
+        )
+        assert paper_reference_pu(
+            res.report, num_phases=len(timeline.phases())
+        ) == {}
+        pu = timeline.pu_breakdown(res.report)
+        assert "paper_pu" not in pu
+        assert pu["measured_pu"] == res.report.processor_utilization
+
+
+class TestRenderings:
+    def _pipelined(self):
+        rng = np.random.default_rng(9)
+        timeline = TimelineSink("fig3-pipelined")
+        res = PipelinedMatrixStringArray().run(
+            _matrix_string(rng, 4, 3), sinks=[timeline]
+        )
+        return res, timeline
+
+    def test_heatmap_shape_and_phase_ruler(self):
+        res, timeline = self._pipelined()
+        out = timeline.render_heatmap()
+        lines = out.splitlines()
+        assert lines[0].startswith("space-time occupancy:")
+        pe_rows = [ln for ln in lines if ln.startswith("P")]
+        assert len(pe_rows) == res.report.num_pes
+        assert lines[-1].startswith("phases: ")
+        assert "|" in lines[1]  # ruler row marks phase starts
+
+    def test_heatmap_bins_long_schedules(self):
+        res, timeline = self._pipelined()
+        narrow = timeline.render_heatmap(max_width=4)
+        for ln in narrow.splitlines():
+            if ln.startswith("P"):
+                assert len(ln.split(" ", 1)[1]) <= 4
+
+    def test_heatmap_empty_sink(self):
+        assert TimelineSink().render_heatmap() == "(no PE activity traced)"
+
+    def test_spacetime_delegates_to_classic_renderer(self):
+        res, timeline = self._pipelined()
+        out = timeline.render_spacetime(res.report.num_pes)
+        assert out.splitlines()[1].startswith("P1")
+
+    def test_to_json_is_jsonable_and_complete(self):
+        res, timeline = self._pipelined()
+        record = timeline.to_json(res.report)
+        json.dumps(record)
+        assert record["kind"] == "telemetry_timeline"
+        assert record["design"] == "fig3-pipelined"
+        assert len(record["pes"]) == res.report.num_pes
+        assert [p["busy_ticks"] for p in record["pes"]] == list(
+            res.report.pe_busy_ticks
+        )
+        assert record["pu"]["measured_pu"] == res.report.processor_utilization
+        assert len(record["phases"]) == len(timeline.phases())
