@@ -29,6 +29,7 @@ Subpackages
 ``repro.dataflow``  — asynchronous dataflow execution of multiply trees.
 ``repro.core``      — classification, Table-1 dispatch ``solve()``, metrics.
 ``repro.telemetry`` — trace-bus observability: metrics, timelines, exporters.
+``repro.faults``    — fault injection, ABFT detection, recovery policies.
 """
 
 from . import (
@@ -37,6 +38,7 @@ from . import (
     dataflow,
     dnc,
     dp,
+    faults,
     graphs,
     io,
     search,
@@ -60,6 +62,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "semiring",
+    "faults",
     "graphs",
     "dp",
     "systolic",

@@ -18,10 +18,18 @@ Small demonstration front-end over the library:
   occupancy heatmap.
 * ``python -m repro compare A.json B.json`` — per-metric delta table
   between two saved run records.
+* ``python -m repro inject [--design D|all] [--trials T]
+  [--policy P] [--fault-plan F.json]`` — seeded fault-injection
+  campaigns (or one explicit plan) with ABFT detection and recovery;
+  exits 1 if any output-corrupting fault went undetected.
 
 ``demo`` and ``bench`` accept ``--backend rtl|fast|auto`` to pick the
 array execution engine (cycle-accurate machine vs. vectorized
 whole-array reductions).
+
+File and plan errors (unreadable run records, corrupted JSON, invalid
+fault plans) exit with status 2 and a one-line ``error:`` message, the
+same convention argparse uses for bad flags.
 """
 
 from __future__ import annotations
@@ -151,16 +159,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     rng = np.random.default_rng(args.seed)
     design_name, run = _design_runner(args.design, rng, args.n, args.m)
+    injector = None
+    fault_plan = None
+    if args.fault_plan:
+        from .faults import FaultInjector, FaultPlan, FaultPlanError
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+        if fault_plan.design and fault_plan.design != args.design:
+            raise FaultPlanError(
+                f"fault plan targets design {fault_plan.design!r}, "
+                f"trace is running {args.design!r}"
+            )
+        injector = FaultInjector(fault_plan)
     timeline = TimelineSink(design_name)
     metrics = MetricsSink(design_name)
-    with collect_timings() as timer:
-        res = run(record_trace=True, sinks=[timeline, metrics])
+    try:
+        with collect_timings() as timer:
+            res = run(
+                record_trace=True, sinks=[timeline, metrics], injector=injector
+            )
+    except Exception as exc:
+        if injector is None:
+            raise
+        # Crash-as-detection: injected faults may corrupt state into
+        # shapes the schedule cannot finish on.  Report, don't traceback.
+        print(
+            f"{design_name}: run crashed under fault injection after "
+            f"{len(injector.injections)} injection(s): "
+            f"{type(exc).__name__}: {exc}"
+        )
+        return 1
     report = res.report
     print(
         f"{report.design} (rtl): {report.num_pes} PEs, "
         f"{report.iterations} iterations, {report.wall_ticks} wall ticks, "
         f"PU {report.processor_utilization:.3f}"
     )
+    if injector is not None:
+        print(
+            f"fault plan {args.fault_plan}: {len(fault_plan)} spec(s), "
+            f"{len(injector.injections)} injection(s) performed"
+        )
 
     if args.metrics:
         path = pathlib.Path(args.metrics)
@@ -200,12 +239,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:  # json: the full run record, consumable by `compare`
         from .io import save_run
 
+        faults_payload = None
+        if injector is not None:
+            faults_payload = {
+                "kind": "fault_trace",
+                "plan": fault_plan.to_dict(),
+                "injections": [inj.to_dict() for inj in injector.injections],
+            }
         save_run(
             out,
             report,
             res.events,
             metrics=metrics.registry.snapshot(),
             timings=timer.summary(),
+            faults=faults_payload,
         )
         print(f"wrote {out}: run record with {len(res.events)} events")
     return 0
@@ -273,6 +320,112 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             path = out_dir / f"BENCH_{design_name.replace('-', '_')}.json"
             path.write_text(json.dumps(record, indent=2) + "\n")
             print(f"wrote {path}")
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .faults import (
+        FaultDetected,
+        FaultPlan,
+        FaultPlanError,
+        make_harness,
+        run_campaign,
+        run_with_recovery,
+    )
+    from .telemetry import MetricsRegistry, MetricsSink
+
+    registry = MetricsRegistry()
+
+    if args.fault_plan:
+        # One explicit plan against one design instance.
+        plan = FaultPlan.load(args.fault_plan)
+        design = plan.design or (args.design if args.design != "all" else None)
+        if design is None:
+            raise FaultPlanError(
+                "plan names no design; pass --design with a concrete one"
+            )
+        if args.design != "all" and args.design != design:
+            raise FaultPlanError(
+                f"fault plan targets design {design!r}, --design says {args.design!r}"
+            )
+        rng = np.random.default_rng(args.seed)
+        harness = make_harness(design, rng, n=args.n, m=args.m)
+        sink = MetricsSink(harness.design, registry)
+        try:
+            _, run_report = run_with_recovery(
+                harness, plan, policy=args.policy, sinks=(sink,)
+            )
+        except FaultDetected as exc:
+            print(f"{design}: fail-fast raised ({len(exc.detections)} detections)")
+            return 1
+        print(
+            f"{design}: outcome {run_report.outcome}, "
+            f"{len(run_report.injections)} injection(s), "
+            f"{len(run_report.detections)} detection(s), "
+            f"{run_report.attempts} attempt(s)"
+        )
+        for deg in run_report.degraded:
+            print(
+                f"  spare-PE remap of PE {deg['dead_pe']}: "
+                f"PU {deg['measured_pu']:.3f} on {deg['active_pes']} PEs "
+                f"(clean {deg['clean_pu']:.3f}, paper "
+                + (
+                    f"{deg['predicted_pu']:.3f})"
+                    if deg["predicted_pu"] is not None
+                    else "n/a)"
+                )
+            )
+        if args.json:
+            payload = {"kind": "fault_run_record", "run": run_report.to_dict()}
+            pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"wrote {args.json}")
+        ok = run_report.outcome in ("clean", "recovered", "degraded") or (
+            run_report.outcome == "detected" and args.policy == "warn"
+        )
+        return 0 if ok else 1
+
+    designs = list(DESIGNS) if args.design == "all" else [args.design]
+    print(
+        f"{'design':10s} {'injected':>8s} {'effective':>9s} {'detected':>8s} "
+        f"{'recovered':>9s} {'det rate':>8s} {'rec rate':>8s} {'silent':>6s}"
+    )
+    campaigns = []
+    silent_total = 0
+    for design in designs:
+        rep = run_campaign(
+            design,
+            seed=args.seed,
+            trials=args.trials,
+            n=args.n,
+            m=args.m,
+            policy=args.policy,
+            registry=registry,
+        )
+        campaigns.append(rep)
+        silent_total += rep.undetected_effective
+        print(
+            f"{design:10s} {rep.faults_injected:8d} {rep.effective:9d} "
+            f"{rep.detected:8d} {rep.recovered:9d} {rep.detection_rate:8.3f} "
+            f"{rep.recovery_rate:8.3f} {rep.undetected_effective:6d}"
+        )
+    if args.json:
+        payload = {
+            "kind": "fault_campaign_suite",
+            "campaigns": [rep.to_dict() for rep in campaigns],
+            "metrics": registry.snapshot(),
+        }
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if silent_total:
+        print(
+            f"FAIL: {silent_total} effective fault(s) escaped every detector",
+            file=sys.stderr,
+        )
+        return 1
+    print("every output-corrupting fault was detected or recovered")
     return 0
 
 
@@ -345,6 +498,11 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--n", type=int, default=6, help="instance size (matrices/stages/rows)")
     p_trace.add_argument("--m", type=int, default=4, help="values per stage / columns")
     p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument(
+        "--fault-plan", default=None,
+        help="inject this fault plan (JSON from FaultPlan.save) during the "
+             "traced run; fault events land in the exported trace",
+    )
     p_trace.set_defaults(func=_cmd_trace)
 
     p_cmp = sub.add_parser(
@@ -358,8 +516,53 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_cmp.set_defaults(func=_cmd_compare)
 
+    p_inj = sub.add_parser(
+        "inject",
+        help="fault-injection campaign (or one plan) with detection/recovery",
+    )
+    p_inj.add_argument(
+        "--design", choices=DESIGNS + ("all",), default="all",
+        help="array design to attack, or 'all' (default: all)",
+    )
+    p_inj.add_argument(
+        "--trials", type=int, default=100,
+        help="random fault plans per design (default: 100)",
+    )
+    p_inj.add_argument(
+        "--policy", choices=("fail_fast", "warn", "retry", "spare"),
+        default="retry", help="recovery policy (default: retry)",
+    )
+    p_inj.add_argument("--n", type=int, default=6, help="instance size (matrices/stages/rows)")
+    p_inj.add_argument("--m", type=int, default=4, help="values per stage / columns")
+    p_inj.add_argument("--seed", type=int, default=0)
+    p_inj.add_argument(
+        "--fault-plan", default=None,
+        help="run this one plan (JSON from FaultPlan.save) instead of a "
+             "random campaign",
+    )
+    p_inj.add_argument(
+        "--json", default=None,
+        help="write the campaign/run report (with metrics snapshot) here",
+    )
+    p_inj.set_defaults(func=_cmd_inject)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:  # noqa: BLE001 — filtered to the typed CLI errors
+        if isinstance(exc, _cli_error_types()):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
+
+
+def _cli_error_types() -> tuple[type[BaseException], ...]:
+    """Errors that exit 2 with a one-line message instead of a traceback."""
+    from .faults import FaultPlanError
+    from .io import RunRecordError
+
+    return (RunRecordError, FaultPlanError, FileNotFoundError, IsADirectoryError,
+            PermissionError)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

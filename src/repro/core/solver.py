@@ -69,13 +69,20 @@ class SolveReport:
     solution: Any
     detail: Any
     recommendation: Recommendation
+    #: :class:`~repro.faults.FaultRunReport` when the run executed under
+    #: a fault plan; ``None`` on ordinary (healthy) dispatches.
+    faults: Any = None
 
     def __post_init__(self) -> None:
-        if not self.validated:
+        if not self.validated and not self._degraded_and_warned():
             raise AssertionError(
                 f"architecture result {self.optimum} disagrees with the "
                 f"sequential reference {self.reference}"
             )
+
+    def _degraded_and_warned(self) -> bool:
+        """Degrade-and-warn runs may return a flagged, unvalidated result."""
+        return self.faults is not None and self.faults.outcome == "detected"
 
 
 def _validated(a: float, b: float) -> bool:
@@ -88,6 +95,8 @@ def solve(
     prefer: str | None = None,
     backend: str = "rtl",
     sinks: Iterable[Callable[..., None]] = (),
+    fault_plan: Any = None,
+    recovery: str = "retry",
 ) -> SolveReport:
     """Classify ``problem`` per Table 1, solve it, and validate.
 
@@ -108,10 +117,24 @@ def solve(
     :class:`~repro.telemetry.TimelineSink`) subscribed to the array's
     event bus when the dispatch lands on a systolic path; subscribing
     forces the cycle-accurate rtl backend.  Non-array paths ignore them.
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) executes the run
+    under fault injection with the ``recovery`` policy (``"fail_fast"``,
+    ``"warn"``, ``"retry"`` or ``"spare"``; see
+    :func:`repro.faults.run_with_recovery`).  The returned report then
+    carries a :class:`~repro.faults.FaultRunReport` in ``.faults``;
+    ``fail_fast`` raises :class:`~repro.faults.FaultDetected` on the
+    first detection, ``warn`` may return a flagged unvalidated result,
+    and a plan that cannot be recovered from raises
+    :class:`~repro.faults.FaultDetected`.  Fault injection is a
+    cycle-level feature: only the systolic-array dispatch paths
+    support it.
     """
     backend = normalize_backend(backend)
     sinks = tuple(sinks)
     rec = recommend(problem)
+    if fault_plan is not None:
+        return _solve_faulty(problem, rec, prefer, sinks, fault_plan, recovery)
 
     if isinstance(problem, NodeValueProblem):
         return _solve_node_value(problem, rec, backend, sinks)
@@ -122,6 +145,86 @@ def solve(
     if isinstance(problem, NonserialObjective):
         return _solve_nonserial(problem, rec)
     raise TypeError(f"cannot solve object of type {type(problem).__name__}")
+
+
+def _solve_faulty(
+    problem: object,
+    rec: Recommendation,
+    prefer: str | None,
+    sinks: tuple,
+    fault_plan: Any,
+    recovery: str,
+) -> SolveReport:
+    """Dispatch ``problem`` onto its array harness under fault injection."""
+    import warnings
+
+    from .. import faults as flt
+
+    if isinstance(problem, NodeValueProblem) and problem.is_uniform:
+        harness: Any = flt.FeedbackHarness(problem)
+        ref = solve_node_value(problem).optimum
+        extract = lambda res: (res.optimum, res.path)  # noqa: E731
+        method = "fig5-feedback-array"
+    elif isinstance(problem, MultistageGraph):
+        target = problem
+        if not _graph_fits_linear_array(target):
+            if len(set(target.stage_sizes)) != 1:
+                raise TypeError(
+                    "fault injection on graphs needs a linear-array-shaped "
+                    f"instance; got stage sizes {target.stage_sizes}"
+                )
+            from ..graphs import add_virtual_terminals
+
+            target = add_virtual_terminals(target)
+        cls = (
+            flt.BroadcastHarness if prefer == "broadcast" else flt.PipelinedHarness
+        )
+        harness = cls(target.as_matrices(), target.semiring)
+        ref = solve_backward(problem).optimum
+        sr = target.semiring
+        extract = lambda res: (  # noqa: E731
+            float(sr.add_reduce(np.asarray(res.value), axis=None)),
+            res.value,
+        )
+        method = (
+            "fig4-broadcast-array" if prefer == "broadcast" else "fig3-pipelined-array"
+        )
+    elif isinstance(problem, MatrixChainProblem):
+        harness = flt.ParenHarness(problem.dims)
+        ref = float(solve_matrix_chain(problem.dims).cost)
+        extract = lambda res: (float(res.order.cost), res.order)  # noqa: E731
+        method = harness.array.design_name
+    else:
+        raise TypeError(
+            "fault injection is only supported on the systolic-array dispatch "
+            f"paths, not for {type(problem).__name__}"
+        )
+
+    result, fault_report = flt.run_with_recovery(
+        harness, fault_plan, policy=recovery, sinks=sinks
+    )
+    if result is None:
+        raise flt.FaultDetected(fault_report.detections)
+    optimum, solution = extract(result)
+    validated = _validated(optimum, ref)
+    if not validated and fault_report.outcome == "detected":
+        warnings.warn(
+            f"degrade-and-warn: returning a fault-flagged result for {method} "
+            f"({len(fault_report.detections)} detections)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return SolveReport(
+        dp_class=rec.dp_class,
+        method=f"{method}+faults",
+        optimum=optimum,
+        reference=ref,
+        validated=validated,
+        solution=solution,
+        detail=result,
+        recommendation=rec,
+        faults=fault_report,
+    )
 
 
 def _solve_node_value(

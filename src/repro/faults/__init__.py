@@ -1,0 +1,96 @@
+"""Fault injection, ABFT detection, and degraded-mode recovery.
+
+The paper's arrays are lock-step machines with no control flow to hide
+behind: a corrupted register either changes the answer or it does not,
+and semiring algebra says which.  This package exploits that:
+
+* :mod:`~repro.faults.plan` — declarative, serializable fault plans
+  (transient flips, stuck-at, dropped/duplicated deliveries, dead
+  PEs/links) with seeded random generation;
+* :mod:`~repro.faults.injector` — the machine-core hook that applies a
+  plan inside the :class:`~repro.systolic.fabric.SystolicMachine` tick
+  loop and narrates every mutation as a ``fault`` trace event;
+* :mod:`~repro.faults.detectors` — semiring checksum (ABFT) equations,
+  range/invariant checks, and the crash-as-detection contract;
+* :mod:`~repro.faults.harness` — per-design binding of instance,
+  detectors, sequential shadow oracle, and the spare-PE degraded model;
+* :mod:`~repro.faults.recovery` — fail-fast / warn / retry / spare
+  policies and seeded campaign aggregation.
+
+See ``docs/fault_tolerance.md`` for the full design narrative.
+"""
+
+from .detectors import (
+    Detection,
+    FaultDetected,
+    abft_matmul,
+    abft_matvec,
+    bounds_matvec,
+    traceback_in_range,
+    values_match,
+)
+from .harness import (
+    DESIGNS,
+    BroadcastHarness,
+    DegradedEstimate,
+    DesignHarness,
+    FeedbackHarness,
+    MeshHarness,
+    ParenHarness,
+    PipelinedHarness,
+    make_harness,
+)
+from .injector import FaultInjector, InjectedFault
+from .plan import (
+    FAULT_MODES,
+    PERSISTENT_MODES,
+    TRANSIENT_MODES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    random_plan,
+)
+from .recovery import (
+    OUTCOMES,
+    POLICIES,
+    CampaignReport,
+    FaultRunReport,
+    run_campaign,
+    run_guarded,
+    run_with_recovery,
+)
+
+__all__ = [
+    "DESIGNS",
+    "FAULT_MODES",
+    "OUTCOMES",
+    "PERSISTENT_MODES",
+    "POLICIES",
+    "TRANSIENT_MODES",
+    "BroadcastHarness",
+    "CampaignReport",
+    "DegradedEstimate",
+    "DesignHarness",
+    "Detection",
+    "FaultDetected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRunReport",
+    "FaultSpec",
+    "FeedbackHarness",
+    "InjectedFault",
+    "MeshHarness",
+    "ParenHarness",
+    "PipelinedHarness",
+    "abft_matmul",
+    "abft_matvec",
+    "bounds_matvec",
+    "make_harness",
+    "random_plan",
+    "run_campaign",
+    "run_guarded",
+    "run_with_recovery",
+    "traceback_in_range",
+    "values_match",
+]

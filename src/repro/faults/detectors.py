@@ -1,0 +1,228 @@
+"""Fault detectors: ABFT checksums and semiring invariant checks.
+
+Algorithm-based fault tolerance (Huang & Abraham) protects a matrix
+computation with *checksum rows/columns* carried through the same
+algebra as the data.  The trick transfers verbatim to semirings: for a
+matrix-vector step ``y = M ⊗ x`` over ``(⊕, ⊗)``, right-distributivity
+gives
+
+    ⊕_i y_i  =  ⊕_j ( (⊕_i M[i,j]) ⊗ x_j )
+
+so one extra "checksum PE" that holds the ⊕-reduced column vector
+``r_j = ⊕_i M[i,j]`` and performs one extra ⊗/⊕ sweep predicts the
+⊕-reduction of the whole output.  Over MIN_PLUS this costs one min-plus
+dot product per phase — O(m) against the O(m²) it protects.
+
+Detectability limits (documented, by design):
+
+* An idempotent ⊕ (min/max) *masks* raised non-winning elements: a
+  corrupted ``M[i,j]`` or ``y_i`` that never wins a ⊕-reduction leaves
+  the checksum — and the final answer — unchanged.  Such faults are
+  *benign* under the fault model: they cannot affect any output.
+* A fault that lowers a value (or corrupts the winning element) changes
+  the ⊕-reduction and is caught.
+* The checksum localizes nothing; it flags the phase.  Pair it with the
+  shadow oracle (:mod:`repro.faults.harness`) for exact completeness:
+  any run whose output deviates from the sequential DP is flagged.
+
+The invariant detectors are cheaper still: value-bounds checks from the
+cost data (over min-plus, ``y_i`` can never beat the best single step
+below the best incoming cost), traceback-pointer range checks, and
+monotone accumulation checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..semiring import Semiring, matvec
+
+__all__ = [
+    "Detection",
+    "FaultDetected",
+    "values_match",
+    "abft_matvec",
+    "abft_matmul",
+    "bounds_matvec",
+    "traceback_in_range",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Detection:
+    """One detector verdict: which detector fired, where, and why."""
+
+    detector: str
+    message: str
+    phase: int | None = None
+    pe: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out = dataclasses.asdict(self)
+        return {k: v for k, v in out.items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Detection":
+        return cls(
+            detector=str(data.get("detector", "unknown")),
+            message=str(data.get("message", "")),
+            phase=data.get("phase"),
+            pe=data.get("pe"),
+        )
+
+
+class FaultDetected(RuntimeError):
+    """Raised by the fail-fast recovery policy when detectors fire."""
+
+    def __init__(self, detections: Sequence[Detection]):
+        self.detections = tuple(detections)
+        lines = "; ".join(d.message for d in self.detections) or "unspecified"
+        super().__init__(f"fault detected: {lines}")
+
+
+def _scalar_eq(a: float, b: float, *, atol: float = 1e-9) -> bool:
+    """Equality that treats equal-signed infinities as equal."""
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=atol)
+
+
+def values_match(a: Any, b: Any, *, atol: float = 1e-9) -> bool:
+    """Compare outputs (scalars or arrays) with inf-aware tolerance."""
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape:
+        return False
+    with np.errstate(invalid="ignore"):
+        both_inf = np.isinf(x) & np.isinf(y) & (np.sign(x) == np.sign(y))
+        close = np.isclose(x, y, rtol=1e-9, atol=atol)
+    return bool(np.all(both_inf | close))
+
+
+def abft_matvec(
+    sr: Semiring,
+    mat: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    phase: int | None = None,
+) -> Detection | None:
+    """Checksum check for one matrix-vector phase ``y = M ⊗ x``.
+
+    Computes the column-checksum prediction ``⊕_j r_j ⊗ x_j`` with
+    ``r = ⊕-reduce(M, axis=0)`` and compares it to ``⊕-reduce(y)``.
+    Returns a :class:`Detection` on mismatch, ``None`` when clean.
+    """
+    mat = sr.asarray(mat)
+    x = sr.asarray(x)
+    y = sr.asarray(y)
+    checksum_row = sr.add_reduce(mat, axis=0)
+    predicted = float(sr.add_reduce(sr.mul(checksum_row, x)))
+    observed = float(sr.add_reduce(y))
+    if _scalar_eq(predicted, observed):
+        return None
+    return Detection(
+        detector="abft_checksum",
+        message=(
+            f"checksum mismatch in phase {phase}: "
+            f"predicted {predicted!r}, observed {observed!r}"
+        ),
+        phase=phase,
+    )
+
+
+def abft_matmul(
+    sr: Semiring, a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> Detection | None:
+    """Row+column checksum check for a full product ``C = A ⊗ B``.
+
+    Column side: ``⊕-reduce(C, axis=0)`` must equal
+    ``(⊕-reduce(A, axis=0)) ⊗ B``; row side symmetric through
+    ``B ⊗`` the row-reduced vector.  Either mismatch flags the run.
+    """
+    a = sr.asarray(a)
+    b = sr.asarray(b)
+    c = sr.asarray(c)
+    col_pred = sr.add_reduce(sr.mul(sr.add_reduce(a, axis=0)[:, None], b), axis=0)
+    col_obs = sr.add_reduce(c, axis=0)
+    if not values_match(col_pred, col_obs):
+        return Detection(
+            detector="abft_checksum",
+            message="column-checksum mismatch in C = A (x) B",
+        )
+    row_pred = matvec(sr, a, sr.add_reduce(b, axis=1))
+    row_obs = sr.add_reduce(c, axis=1)
+    if not values_match(row_pred, row_obs):
+        return Detection(
+            detector="abft_checksum",
+            message="row-checksum mismatch in C = A (x) B",
+        )
+    return None
+
+
+def bounds_matvec(
+    sr: Semiring,
+    mat: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    phase: int | None = None,
+) -> Detection | None:
+    """Arithmetic bounds check for min-plus / max-plus phases.
+
+    Over MIN_PLUS, every output satisfies
+    ``min_j M[i,j] + min_j x_j  <=  y_i  <=  max over the finite
+    candidates`` — a corrupted cost that undercuts every legal path (the
+    classic "phantom shortcut") violates the lower bound even when the
+    checksum is recomputed consistently.  Only meaningful for the
+    ordered semirings; other semirings return ``None``.
+    """
+    if sr.name not in ("min-plus", "max-plus"):
+        return None
+    mat = np.asarray(mat, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        cand = mat + x[None, :]  # candidate costs y_i could have taken
+        cand = np.where(np.isnan(cand), sr.zero, cand)
+    lo = np.min(cand, axis=1)
+    hi = np.max(cand, axis=1)
+    if sr.name == "min-plus":
+        bad = (y < lo - 1e-9) | (y > hi + 1e-9)
+    else:
+        bad = (y > hi + 1e-9) | (y < lo - 1e-9)
+    bad &= ~(np.isinf(y) & (np.isinf(lo) | np.isinf(hi)))
+    if not np.any(bad):
+        return None
+    i = int(np.argmax(bad))
+    return Detection(
+        detector="bounds",
+        message=(
+            f"phase {phase}: output[{i}]={y[i]!r} outside candidate "
+            f"range [{lo[i]!r}, {hi[i]!r}]"
+        ),
+        phase=phase,
+        pe=i,
+    )
+
+
+def traceback_in_range(
+    indices: Iterable[Any], limit: int, *, what: str = "traceback"
+) -> Detection | None:
+    """Check that every traceback pointer is an integer in ``[0, limit)``."""
+    for pos, idx in enumerate(indices):
+        ok = isinstance(idx, (int, np.integer)) and 0 <= int(idx) < limit
+        if not ok:
+            return Detection(
+                detector="traceback_range",
+                message=(
+                    f"{what}[{pos}] = {idx!r} outside valid range "
+                    f"[0, {limit})"
+                ),
+                pe=pos,
+            )
+    return None

@@ -1,0 +1,301 @@
+"""Declarative fault plans for the systolic machine core.
+
+A :class:`FaultPlan` names *what goes wrong, where and when* on an array
+run, without saying anything about how the simulation executes: each
+:class:`FaultSpec` addresses a PE (and usually one of its registers) in
+the design's own register vocabulary (``R``/``ACC``/``X``/``Y`` on the
+Fig. 3 array, ``PAIR``/``K``/``H`` on Fig. 5, ``C``/``A``/``B`` on the
+mesh, ``M`` on the parenthesizer cells, …) and arms one of the supported
+fault modes for a tick window:
+
+``transient_flip``
+    A single-event upset: at the first clock edge at or after ``tick``
+    where the register holds a numeric value, it is perturbed by
+    ``delta`` (for the Fig. 5 moving pair, its partial cost ``h`` is
+    perturbed).  Fires once.
+``stuck_at``
+    From the armed tick on, the register reads ``value`` after every
+    clock edge, whatever was latched.
+``drop_delivery``
+    The staged write(s) to the register during the window never arrive:
+    a lost shift/feedback delivery.  Transient by default (one tick).
+``duplicate_delivery``
+    The value latched at the armed tick is forced back into the
+    register at the next clock edge, overwriting the fresh delivery —
+    the stream stutters and one datum is consumed twice.
+``dead_pe``
+    From the armed tick on, every register of the PE stops latching:
+    the PE is frozen at its last state.
+``dead_link``
+    From the armed tick on, the named register (the PE-side latch of an
+    inter-PE link) stops latching: the link never delivers again.
+
+Plans serialize to/from JSON (``to_dict``/``from_dict`` and the file
+helpers), so fault campaigns are reproducible artifacts;
+:func:`random_plan` draws seeded plans against a design's geometry.
+
+See ``docs/fault_tolerance.md`` for the fault model and its
+detectability guarantees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FAULT_MODES",
+    "TRANSIENT_MODES",
+    "PERSISTENT_MODES",
+    "FaultPlanError",
+    "FaultSpec",
+    "FaultPlan",
+    "random_plan",
+]
+
+#: Every supported fault mode.
+FAULT_MODES = (
+    "transient_flip",
+    "stuck_at",
+    "drop_delivery",
+    "duplicate_delivery",
+    "dead_pe",
+    "dead_link",
+)
+
+#: Modes that fire once (or for one bounded window) and never recur on a
+#: re-run — the faults a retry-with-reseed recovers from.
+TRANSIENT_MODES = frozenset({"transient_flip", "drop_delivery", "duplicate_delivery"})
+
+#: Modes that model broken hardware: they recur on every re-run and need
+#: fencing (spare-PE remap) rather than retries.
+PERSISTENT_MODES = frozenset({"stuck_at", "dead_pe", "dead_link"})
+
+#: Default perturbation applied by ``transient_flip`` (a large odd prime
+#: offset, so min-plus ties cannot silently re-absorb the flip).
+DEFAULT_DELTA = 97.0
+
+
+class FaultPlanError(ValueError):
+    """Raised for malformed fault specs, plans, or plan files."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: mode + per-design address + tick window.
+
+    ``tick`` is 1-based (the machine's iteration numbering); the fault
+    is armed for ``duration`` ticks starting there (``None`` = until the
+    end of the run, the default for the persistent modes).  ``reg`` is
+    required for the register-addressed modes and ignored by
+    ``dead_pe`` (which freezes every register of the PE).
+    """
+
+    mode: str
+    pe: int
+    reg: str | None = None
+    tick: int = 1
+    duration: int | None = None
+    delta: float = DEFAULT_DELTA
+    value: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise FaultPlanError(
+                f"unknown fault mode {self.mode!r}; expected one of {FAULT_MODES}"
+            )
+        if self.pe < 0:
+            raise FaultPlanError(f"fault PE index must be nonnegative, got {self.pe}")
+        if self.tick < 1:
+            raise FaultPlanError(f"fault tick is 1-based, got {self.tick}")
+        if self.duration is not None and self.duration < 1:
+            raise FaultPlanError(f"fault duration must be >= 1, got {self.duration}")
+        if self.mode == "stuck_at" and self.value is None:
+            raise FaultPlanError("stuck_at faults need an explicit `value`")
+        if self.mode in ("stuck_at", "dead_link", "drop_delivery",
+                         "duplicate_delivery", "transient_flip") and self.reg is None:
+            raise FaultPlanError(f"{self.mode} faults need a register name")
+
+    @property
+    def transient(self) -> bool:
+        """True for faults a retry-with-reseed clears."""
+        return self.mode in TRANSIENT_MODES
+
+    def window(self) -> tuple[int, float]:
+        """The armed tick window as ``(first, last)`` (last may be +inf)."""
+        if self.duration is None:
+            if self.mode in TRANSIENT_MODES:
+                return (self.tick, self.tick)  # transients default to one tick
+            return (self.tick, float("inf"))
+        return (self.tick, self.tick + self.duration - 1)
+
+    def armed_at(self, tick: int) -> bool:
+        """Whether the fault is armed during machine tick ``tick``."""
+        first, last = self.window()
+        return first <= tick <= last
+
+    def to_dict(self) -> dict[str, Any]:
+        out = dataclasses.asdict(self)
+        return {k: v for k, v in out.items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault spec must be a dict, got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(f"unknown fault-spec keys {sorted(unknown)}")
+        if "mode" not in data or "pe" not in data:
+            raise FaultPlanError("fault spec needs at least `mode` and `pe`")
+        kwargs = dict(data)
+        kwargs["pe"] = int(kwargs["pe"])
+        if "tick" in kwargs:
+            kwargs["tick"] = int(kwargs["tick"])
+        if "duration" in kwargs and kwargs["duration"] is not None:
+            kwargs["duration"] = int(kwargs["duration"])
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault specs, optionally stamped with its seed.
+
+    ``design`` records which array design the plan addresses (register
+    names and PE indices are design vocabulary); ``seed`` records the
+    RNG seed a generated plan was drawn with, so campaign artifacts are
+    reproducible by construction.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    design: str | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultPlanError(f"plan entries must be FaultSpec, got {spec!r}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @property
+    def persistent_specs(self) -> tuple[FaultSpec, ...]:
+        """The broken-hardware subset (recurs on every re-run)."""
+        return tuple(s for s in self.specs if not s.transient)
+
+    def drop_transients(self) -> "FaultPlan":
+        """The plan a retry faces: transients fired once and are gone."""
+        return dataclasses.replace(self, specs=self.persistent_specs)
+
+    def without_pe(self, pe: int) -> "FaultPlan":
+        """The plan after fencing PE ``pe`` (spare-PE remap)."""
+        return dataclasses.replace(
+            self, specs=tuple(s for s in self.specs if s.pe != pe)
+        )
+
+    def dead_pes(self) -> tuple[int, ...]:
+        """PEs a persistent fault targets (candidates for fencing)."""
+        return tuple(sorted({s.pe for s in self.specs if not s.transient}))
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": "fault_plan",
+            "specs": [s.to_dict() for s in self.specs],
+        }
+        if self.design is not None:
+            out["design"] = self.design
+        if self.seed is not None:
+            out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict) or data.get("kind") != "fault_plan":
+            raise FaultPlanError(
+                f"not a fault-plan dict: kind={data.get('kind') if isinstance(data, dict) else data!r}"
+            )
+        specs = data.get("specs", [])
+        if not isinstance(specs, list):
+            raise FaultPlanError("fault-plan `specs` must be a list")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(s) for s in specs),
+            design=data.get("design"),
+            seed=data.get("seed"),
+        )
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Write the plan to ``path`` as JSON."""
+        pathlib.Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "FaultPlan":
+        """Read a plan written by :meth:`save`.
+
+        Raises :class:`FaultPlanError` for unreadable or malformed
+        files (including syntactically broken JSON), never ``KeyError``.
+        """
+        try:
+            text = pathlib.Path(path).read_text()
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path}: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def random_plan(
+    rng: np.random.Generator,
+    *,
+    design: str,
+    num_pes: int,
+    registers: Sequence[str],
+    horizon: int,
+    n_faults: int = 1,
+    modes: Iterable[str] = FAULT_MODES,
+    seed: int | None = None,
+) -> FaultPlan:
+    """Draw a seeded random plan against one design's geometry.
+
+    ``registers`` is the design's register vocabulary, ``horizon`` the
+    schedule length in ticks (faults are armed uniformly inside it).
+    Stuck-at values are drawn as small nonnegative costs; transient
+    flips use the default ``delta``.
+    """
+    modes = tuple(modes)
+    if not modes:
+        raise FaultPlanError("need at least one fault mode")
+    for mode in modes:
+        if mode not in FAULT_MODES:
+            raise FaultPlanError(f"unknown fault mode {mode!r}")
+    if num_pes < 1 or horizon < 1:
+        raise FaultPlanError("num_pes and horizon must be positive")
+    registers = tuple(registers)
+    if not registers:
+        raise FaultPlanError("need at least one register name")
+    specs = []
+    for _ in range(n_faults):
+        mode = modes[int(rng.integers(0, len(modes)))]
+        pe = int(rng.integers(0, num_pes))
+        reg = registers[int(rng.integers(0, len(registers)))]
+        tick = int(rng.integers(1, horizon + 1))
+        specs.append(
+            FaultSpec(
+                mode=mode,
+                pe=pe,
+                reg=None if mode == "dead_pe" else reg,
+                tick=tick,
+                value=float(rng.integers(0, 50)) if mode == "stuck_at" else None,
+            )
+        )
+    return FaultPlan(specs=tuple(specs), design=design, seed=seed)

@@ -1,0 +1,444 @@
+"""Recovery policies, guarded execution, and seeded fault campaigns.
+
+``run_with_recovery`` is the policy engine: it executes one harness
+instance under a :class:`~repro.faults.injector.FaultInjector`, runs the
+concurrent detectors (with the sequential shadow oracle as the
+completeness backstop), and then applies one of four policies:
+
+* ``fail_fast`` — raise :class:`FaultDetected` on the first detection;
+* ``warn``      — degrade-and-warn: return the faulty result, flagged;
+* ``retry``     — re-run with the transient faults dropped (they fired
+  once and do not recur); persistent faults survive a retry and the
+  report says so;
+* ``spare``     — spare-PE remap: persistent faults are removed as if
+  the affected PEs were mapped out to spares, the instance re-runs on
+  the surviving PEs, and the report carries the
+  :class:`~repro.faults.harness.DegradedEstimate` (measured PU on
+  ``m − 1`` PEs next to the paper's eq. 9 / Fig. 5 prediction).
+
+Every stage is narrated on the trace bus: the injector emits ``fault``
+events from inside the machine, this module emits ``detect`` and
+``recover`` events to the same sinks, so ``MetricsSink`` /
+``TimelineSink`` count them with no extra wiring.
+
+``run_campaign`` drives seeded batches of random plans and aggregates
+effectiveness / detection / recovery rates per fault mode into both a
+:class:`CampaignReport` and the metrics registry
+(``repro_faults_injected_total{design,mode}`` and friends).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from ..systolic.fabric import TraceEvent
+from .detectors import Detection, FaultDetected
+from .harness import DesignHarness, make_harness
+from .injector import FaultInjector
+from .plan import FAULT_MODES, FaultPlan, FaultPlanError, random_plan
+
+__all__ = [
+    "POLICIES",
+    "CampaignReport",
+    "FaultRunReport",
+    "run_campaign",
+    "run_guarded",
+    "run_with_recovery",
+]
+
+#: Recognized recovery policies, in escalation order.
+POLICIES = ("fail_fast", "warn", "retry", "spare")
+
+#: Outcomes a guarded run can end in.
+OUTCOMES = ("clean", "detected", "recovered", "degraded", "failed")
+
+
+def run_guarded(
+    harness: DesignHarness,
+    *,
+    injector: FaultInjector | None = None,
+    sinks: Iterable[Callable[[TraceEvent], None]] = (),
+    record_trace: bool = False,
+) -> tuple[Any, list[Detection]]:
+    """Run the harness; convert a crash into a ``crash`` detection.
+
+    Faults can corrupt state into shapes the design never produces
+    (a float where a pair was staged, a non-finite chain cost), which
+    surfaces as an exception mid-run.  That *is* a detection — the
+    machine noticed something impossible — so it is reported as
+    ``Detection(detector="crash")`` with a ``None`` result rather than
+    propagating.
+    """
+    try:
+        result = harness.run(
+            injector=injector, sinks=sinks, record_trace=record_trace
+        )
+    except Exception as exc:  # noqa: BLE001 — any crash is a detection
+        return None, [
+            Detection(detector="crash", message=f"{type(exc).__name__}: {exc}")
+        ]
+    return result, []
+
+
+def _emit(
+    sinks: tuple[Callable[[TraceEvent], None], ...],
+    kind: str,
+    label: str,
+    *,
+    pe: int = -1,
+) -> None:
+    """Deliver a synthetic recovery-layer event to the run's sinks."""
+    event = TraceEvent(tick=0, pe=pe, kind=kind, label=label)
+    for sink in sinks:
+        try:
+            sink(event)
+        except Exception:  # same isolation contract as the bus itself
+            pass
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRunReport:
+    """Outcome of one guarded run of one fault plan."""
+
+    design: str
+    policy: str
+    outcome: str  # one of OUTCOMES
+    attempts: int
+    #: Did the first (faulty) attempt change the canonical output?
+    effective: bool
+    detections: tuple[Detection, ...] = ()
+    #: Injections actually performed on the first attempt (dict form).
+    injections: tuple[dict[str, Any], ...] = ()
+    #: Spare-PE degradation estimates (dict form), ``spare`` policy only.
+    degraded: tuple[dict[str, Any], ...] = ()
+    plan: dict[str, Any] | None = None
+
+    @property
+    def recovered(self) -> bool:
+        return self.outcome in ("recovered", "degraded")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "fault_run",
+            "design": self.design,
+            "policy": self.policy,
+            "outcome": self.outcome,
+            "attempts": self.attempts,
+            "effective": self.effective,
+            "detections": [d.to_dict() for d in self.detections],
+            "injections": list(self.injections),
+            "degraded": list(self.degraded),
+            "plan": self.plan,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultRunReport":
+        if not isinstance(payload, dict) or payload.get("kind") != "fault_run":
+            raise FaultPlanError(
+                f"not a fault_run payload: kind={payload.get('kind') if isinstance(payload, dict) else payload!r}"
+            )
+        try:
+            return cls(
+                design=str(payload["design"]),
+                policy=str(payload["policy"]),
+                outcome=str(payload["outcome"]),
+                attempts=int(payload["attempts"]),
+                effective=bool(payload["effective"]),
+                detections=tuple(
+                    Detection.from_dict(d) for d in payload.get("detections", [])
+                ),
+                injections=tuple(payload.get("injections", [])),
+                degraded=tuple(payload.get("degraded", [])),
+                plan=payload.get("plan"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault_run payload: {exc}") from exc
+
+
+def _detect_all(
+    harness: DesignHarness, result: Any, *, use_oracle: bool
+) -> list[Detection]:
+    """Concurrent detectors, then the shadow oracle if they stayed silent."""
+    detections = harness.detect(result)
+    if use_oracle and not detections:
+        verdict = harness.oracle_check(result)
+        if verdict is not None:
+            detections.append(verdict)
+    return detections
+
+
+def run_with_recovery(
+    harness: DesignHarness,
+    plan: FaultPlan,
+    *,
+    policy: str = "retry",
+    max_retries: int = 2,
+    use_oracle: bool = True,
+    sinks: Iterable[Callable[[TraceEvent], None]] = (),
+) -> tuple[Any, FaultRunReport]:
+    """Run ``plan`` against ``harness`` under a recovery ``policy``.
+
+    Returns ``(result, report)``; ``result`` is the final (possibly
+    recovered) run output, or ``None`` when every attempt crashed or
+    the outcome is ``failed`` with no usable value.  ``fail_fast``
+    raises :class:`FaultDetected` instead of returning.
+    """
+    if policy not in POLICIES:
+        raise FaultPlanError(f"unknown policy {policy!r} (expected one of {POLICIES})")
+    sinks = tuple(sinks)
+    injector = FaultInjector(plan)
+    result, detections = run_guarded(harness, injector=injector, sinks=sinks)
+    if result is not None:
+        detections.extend(_detect_all(harness, result, use_oracle=use_oracle))
+    effective = result is None or harness.canonical(result) != harness.canonical(
+        harness.clean_result()
+    )
+    injections = tuple(inj.to_dict() for inj in injector.injections)
+
+    def report(outcome: str, *, attempts: int, degraded: tuple = ()) -> FaultRunReport:
+        return FaultRunReport(
+            design=harness.design,
+            policy=policy,
+            outcome=outcome,
+            attempts=attempts,
+            effective=effective,
+            detections=tuple(detections),
+            injections=injections,
+            degraded=degraded,
+            plan=plan.to_dict(),
+        )
+
+    if not detections:
+        return result, report("clean", attempts=1)
+
+    for d in detections:
+        _emit(sinks, "detect", f"{d.detector}: {d.message}", pe=d.pe if d.pe is not None else -1)
+    if policy == "fail_fast":
+        raise FaultDetected(detections)
+    if policy == "warn":
+        return result, report("detected", attempts=1)
+
+    if policy == "retry":
+        retry_plan = plan.drop_transients()
+        attempts = 1
+        for _ in range(max_retries):
+            attempts += 1
+            retry_result, retry_detections = run_guarded(
+                harness, injector=FaultInjector(retry_plan), sinks=sinks
+            )
+            if retry_result is not None:
+                retry_detections.extend(
+                    _detect_all(harness, retry_result, use_oracle=use_oracle)
+                )
+            if not retry_detections:
+                _emit(sinks, "recover", f"retry: clean on attempt {attempts}")
+                return retry_result, report("recovered", attempts=attempts)
+        # Persistent faults survive any number of retries.
+        return None, report("failed", attempts=attempts)
+
+    # policy == "spare": map the persistently-faulty PEs out to spares.
+    dead = plan.dead_pes() or tuple(
+        sorted({spec.pe for spec in plan.persistent_specs})
+    )
+    spare_plan = plan.drop_transients()
+    for pe in dead:
+        spare_plan = spare_plan.without_pe(pe)
+    degraded = []
+    for pe in dead:
+        try:
+            degraded.append(harness.degraded(pe).to_dict())
+        except FaultPlanError:
+            pass  # PE index outside this design's geometry: nothing to remap
+    spare_result, spare_detections = run_guarded(
+        harness, injector=FaultInjector(spare_plan), sinks=sinks
+    )
+    if spare_result is not None:
+        spare_detections.extend(
+            _detect_all(harness, spare_result, use_oracle=use_oracle)
+        )
+    if not spare_detections:
+        label = f"spare: remapped PEs {list(dead)}" if dead else "spare: clean re-run"
+        _emit(sinks, "recover", label)
+        outcome = "degraded" if degraded else "recovered"
+        return spare_result, report(outcome, attempts=2, degraded=tuple(degraded))
+    return None, report("failed", attempts=2, degraded=tuple(degraded))
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignReport:
+    """Aggregate of a seeded fault campaign on one design."""
+
+    design: str
+    policy: str
+    seed: int
+    trials: int
+    faults_injected: int
+    effective: int
+    detected: int
+    recovered: int
+    #: Effective faults that no detector flagged — silent corruptions.
+    #: The acceptance bar is zero.
+    undetected_effective: int
+    by_mode: dict[str, dict[str, int]]
+    by_detector: dict[str, int]
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.effective if self.effective else 1.0
+
+    @property
+    def recovery_rate(self) -> float:
+        return self.recovered / self.detected if self.detected else 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["kind"] = "fault_campaign"
+        out["detection_rate"] = self.detection_rate
+        out["recovery_rate"] = self.recovery_rate
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CampaignReport":
+        if not isinstance(payload, dict) or payload.get("kind") != "fault_campaign":
+            raise FaultPlanError("not a fault_campaign payload")
+        fields = {f.name for f in dataclasses.fields(cls)}
+        try:
+            return cls(**{k: v for k, v in payload.items() if k in fields})
+        except TypeError as exc:
+            raise FaultPlanError(f"malformed fault_campaign payload: {exc}") from exc
+
+
+def run_campaign(
+    design: str | DesignHarness,
+    *,
+    seed: int = 0,
+    trials: int = 100,
+    faults_per_trial: int = 1,
+    n: int = 6,
+    m: int = 4,
+    modes: Iterable[str] = FAULT_MODES,
+    policy: str = "retry",
+    use_oracle: bool = True,
+    registry: Any = None,
+) -> CampaignReport:
+    """Seeded random fault campaign: ``trials`` plans against one instance.
+
+    Each trial draws a fresh random plan (mode, PE, register, tick all
+    seeded), runs it under ``policy``, and classifies the outcome.  A
+    fault is *effective* when the first attempt's canonical output
+    differs from the clean run (or the run crashed); the campaign's
+    health criterion is ``undetected_effective == 0`` — with the shadow
+    oracle on, every output-corrupting fault must be flagged.
+
+    When a ``registry`` (:class:`repro.telemetry.MetricsRegistry`) is
+    given, per-mode counters are recorded there:
+    ``repro_faults_injected_total{design,mode}``,
+    ``repro_faults_effective_total{design,mode}``,
+    ``repro_faults_detected_total{design,detector}`` and
+    ``repro_faults_recovered_total{design,policy}``.
+    """
+    rng = np.random.default_rng(seed)
+    harness = (
+        make_harness(design, rng, n=n, m=m) if isinstance(design, str) else design
+    )
+    modes = tuple(modes)
+    counters = None
+    if registry is not None:
+        counters = {
+            "injected": registry.counter(
+                "repro_faults_injected_total",
+                "Faults injected by campaigns",
+                ("design", "mode"),
+            ),
+            "effective": registry.counter(
+                "repro_faults_effective_total",
+                "Faults that corrupted the canonical output",
+                ("design", "mode"),
+            ),
+            "detected": registry.counter(
+                "repro_faults_detected_total",
+                "Detections raised, by detector",
+                ("design", "detector"),
+            ),
+            "recovered": registry.counter(
+                "repro_faults_recovered_total",
+                "Runs recovered to a clean output",
+                ("design", "policy"),
+            ),
+        }
+
+    faults_injected = effective = detected = recovered = silent = 0
+    by_mode: dict[str, dict[str, int]] = {
+        mode: {"injected": 0, "effective": 0, "detected": 0} for mode in modes
+    }
+    by_detector: dict[str, int] = {}
+    for _ in range(trials):
+        plan = random_plan(
+            rng,
+            design=harness.design,
+            num_pes=harness.num_pes,
+            registers=harness.registers,
+            horizon=harness.horizon,
+            n_faults=faults_per_trial,
+            modes=modes,
+        )
+        try:
+            _, run_report = run_with_recovery(
+                harness, plan, policy=policy, use_oracle=use_oracle
+            )
+        except FaultDetected as exc:  # fail_fast campaigns still aggregate
+            run_report = FaultRunReport(
+                design=harness.design,
+                policy=policy,
+                outcome="detected",
+                attempts=1,
+                effective=True,
+                detections=exc.detections,
+                plan=plan.to_dict(),
+            )
+        mode = plan.specs[0].mode
+        faults_injected += len(plan)
+        by_mode[mode]["injected"] += len(plan)
+        if counters:
+            counters["injected"].labels(design=harness.design, mode=mode).inc(
+                len(plan)
+            )
+        if run_report.effective:
+            effective += 1
+            by_mode[mode]["effective"] += 1
+            if counters:
+                counters["effective"].labels(design=harness.design, mode=mode).inc()
+        if run_report.detections:
+            if run_report.effective:
+                detected += 1
+                by_mode[mode]["detected"] += 1
+            for d in run_report.detections:
+                by_detector[d.detector] = by_detector.get(d.detector, 0) + 1
+                if counters:
+                    counters["detected"].labels(
+                        design=harness.design, detector=d.detector
+                    ).inc()
+        elif run_report.effective:
+            silent += 1
+        if run_report.recovered:
+            recovered += 1
+            if counters:
+                counters["recovered"].labels(
+                    design=harness.design, policy=policy
+                ).inc()
+    return CampaignReport(
+        design=harness.design,
+        policy=policy,
+        seed=seed,
+        trials=trials,
+        faults_injected=faults_injected,
+        effective=effective,
+        detected=detected,
+        recovered=recovered,
+        undetected_effective=silent,
+        by_mode=by_mode,
+        by_detector=by_detector,
+    )

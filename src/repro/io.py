@@ -24,6 +24,7 @@ from .semiring import by_name
 from .systolic.fabric import RunReport, TraceEvent
 
 __all__ = [
+    "RunRecordError",
     "save_graph",
     "load_graph",
     "graph_to_dict",
@@ -39,6 +40,15 @@ __all__ = [
     "path_to_dict",
     "path_from_dict",
 ]
+
+
+class RunRecordError(ValueError):
+    """A run-record file is unreadable, not JSON, or structurally wrong.
+
+    Raised by :func:`load_run_record` / :func:`load_run` instead of the
+    raw ``OSError`` / ``json.JSONDecodeError`` / ``KeyError`` zoo, so
+    callers (the CLI in particular) can report one typed failure.
+    """
 
 
 def save_graph(path: str | pathlib.Path, graph: MultistageGraph) -> None:
@@ -150,6 +160,7 @@ def save_run(
     *,
     metrics: dict[str, Any] | None = None,
     timings: dict[str, Any] | None = None,
+    faults: dict[str, Any] | None = None,
 ) -> None:
     """Write a run report (and optional typed trace) to ``path`` as JSON.
 
@@ -157,7 +168,11 @@ def save_run(
     dict) and ``timings`` (a
     :meth:`~repro.telemetry.TimingCollector.summary` dict) are stored
     alongside the report when provided; the keys are omitted otherwise,
-    so pre-telemetry files and writers stay valid.
+    so pre-telemetry files and writers stay valid.  ``faults`` takes a
+    fault-layer payload the same way — a
+    :meth:`~repro.faults.FaultRunReport.to_dict` or
+    :meth:`~repro.faults.CampaignReport.to_dict` dict — and round-trips
+    it verbatim.
     """
     record: dict[str, Any] = {
         "kind": "systolic_run",
@@ -168,6 +183,8 @@ def save_run(
         record["metrics"] = metrics
     if timings is not None:
         record["timings"] = timings
+    if faults is not None:
+        record["faults"] = faults
     json.dumps(record)  # guarantee JSON-ability at the source
     pathlib.Path(path).write_text(json.dumps(record, indent=2) + "\n")
 
@@ -194,16 +211,39 @@ class RunRecord:
     events: tuple[TraceEvent, ...]
     metrics: dict[str, Any] | None = None
     timings: dict[str, Any] | None = None
+    #: Fault-layer payload (``fault_run`` or ``fault_campaign`` dict);
+    #: ``None`` for healthy runs and pre-fault-layer files.
+    faults: dict[str, Any] | None = None
 
 
 def load_run_record(path: str | pathlib.Path) -> RunRecord:
-    """Read a full :class:`RunRecord` written by :func:`save_run`."""
-    data = json.loads(pathlib.Path(path).read_text())
-    if data.get("kind") != "systolic_run":
-        raise ValueError(f"not a systolic-run file: kind={data.get('kind')!r}")
-    return RunRecord(
-        report=report_from_dict(data["report"]),
-        events=trace_from_dicts(data["events"]),
-        metrics=data.get("metrics"),
-        timings=data.get("timings"),
-    )
+    """Read a full :class:`RunRecord` written by :func:`save_run`.
+
+    Raises :class:`RunRecordError` — not ``OSError`` / ``KeyError`` /
+    ``json.JSONDecodeError`` — for an unreadable file, corrupted JSON,
+    or a structurally wrong record.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise RunRecordError(f"cannot read run record {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RunRecordError(f"corrupted JSON in run record {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("kind") != "systolic_run":
+        kind = data.get("kind") if isinstance(data, dict) else type(data).__name__
+        raise RunRecordError(f"not a systolic-run file: kind={kind!r}")
+    try:
+        return RunRecord(
+            report=report_from_dict(data["report"]),
+            events=trace_from_dicts(data["events"]),
+            metrics=data.get("metrics"),
+            timings=data.get("timings"),
+            faults=data.get("faults"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, RunRecordError):
+            raise
+        raise RunRecordError(f"malformed run record {path}: {exc}") from exc

@@ -65,6 +65,10 @@ class BroadcastArrayResult:
     trace: tuple[tuple[int, int, str], ...] = ()
     #: The full typed event stream from the machine's trace bus.
     events: tuple[TraceEvent, ...] = ()
+    #: Per-phase ``(x, y)`` boundary vectors (bus source entering the
+    #: phase, accumulators as latched at its end), captured when
+    #: ``observe`` was requested — the ABFT detector inputs.
+    phase_values: tuple[tuple[np.ndarray, np.ndarray], ...] = ()
 
 
 class BroadcastMatrixStringArray:
@@ -84,6 +88,8 @@ class BroadcastMatrixStringArray:
         record_trace: bool = False,
         backend: str | None = None,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool | None = None,
     ) -> BroadcastArrayResult:
         """Evaluate the matrix string right-to-left on the array.
 
@@ -105,8 +111,10 @@ class BroadcastMatrixStringArray:
         sr = self.sr
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks:
+        if record_trace or sinks or injector is not None:
             resolved = "rtl"
+        if observe is None:
+            observe = injector is not None
         if track_decisions and sr.add_argreduce is None and resolved != "rtl":
             resolved = "rtl"  # fast decisions need an argreduce; RTL tracks inline
         mats, vec, m = _normalize_string(sr, matrices)
@@ -121,6 +129,8 @@ class BroadcastMatrixStringArray:
                 track_decisions=track_decisions,
                 record_trace=record_trace,
                 sinks=sinks,
+                injector=injector,
+                observe=bool(observe),
             ),
             fast=lambda: self._run_fast(mats, vec, m, track_decisions=track_decisions),
             validate=self._validate,
@@ -157,10 +167,13 @@ class BroadcastMatrixStringArray:
         track_decisions: bool = False,
         record_trace: bool = False,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool = False,
     ) -> BroadcastArrayResult:
         sr = self.sr
         machine = SystolicMachine(
-            self.design_name, record_trace=record_trace, sinks=sinks
+            self.design_name, record_trace=record_trace, sinks=sinks,
+            injector=injector,
         )
         pes = machine.add_pes(m)
         for pe in pes:
@@ -174,6 +187,7 @@ class BroadcastMatrixStringArray:
         serial_ops = 0
         scalar_result: float | None = None
         decisions: list[np.ndarray] = []
+        phase_values: list[tuple[np.ndarray, np.ndarray]] = []
 
         for phase in range(num_phases):
             mat = mats[num_phases - 1 - phase]
@@ -182,6 +196,7 @@ class BroadcastMatrixStringArray:
             if is_row_vector and phase != num_phases - 1:
                 raise SystolicError("row-vector operand must be leftmost")
             machine.begin_phase(f"p{phase}")
+            x_snap = sr.asarray(bus_source) if observe else None
             if is_row_vector:
                 pes[0]["ACC"].set(sr.zero)
                 pes[0]["ARG"].set(-1)
@@ -215,6 +230,8 @@ class BroadcastMatrixStringArray:
                 )
             if is_row_vector:
                 scalar_result = float(pes[0]["ACC"].value)
+                if x_snap is not None:
+                    phase_values.append((x_snap, sr.asarray([scalar_result])))
             else:
                 # MOVE: gate accumulators into S; they become the next
                 # phase's bus source (FIRST = 0 feedback path).
@@ -222,6 +239,8 @@ class BroadcastMatrixStringArray:
                     pe["S"].set(pe["ACC"].value)
                 machine.latch()
                 bus_source = [float(pe["S"].value) for pe in pes]
+                if x_snap is not None:
+                    phase_values.append((x_snap, sr.asarray(bus_source)))
 
         value = (
             sr.asarray(scalar_result)
@@ -236,6 +255,7 @@ class BroadcastMatrixStringArray:
             decisions=tuple(decisions) if track_decisions else None,
             trace=machine.legacy_trace(),
             events=machine.trace_events(),
+            phase_values=tuple(phase_values),
         )
 
     # ------------------------------------------------------------------
@@ -322,11 +342,16 @@ class BroadcastMatrixStringArray:
         *,
         backend: str | None = None,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool | None = None,
     ) -> BroadcastArrayResult:
         """Evaluate a single-sink multistage graph (backward formulation)."""
         if graph.semiring.name != self.sr.name:
             raise SystolicError("graph and array use different semirings")
-        return self.run(graph.as_matrices(), backend=backend, sinks=sinks)
+        return self.run(
+            graph.as_matrices(), backend=backend, sinks=sinks,
+            injector=injector, observe=observe,
+        )
 
     def run_graph_with_path(
         self,
@@ -334,6 +359,8 @@ class BroadcastMatrixStringArray:
         *,
         backend: str | None = None,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool | None = None,
     ):
         """Solve a single-source/sink graph and trace the optimal path.
 
@@ -349,7 +376,8 @@ class BroadcastMatrixStringArray:
         if not graph.is_single_source_sink:
             raise SystolicError("path traceback needs a single-source/sink graph")
         res = self.run(
-            graph.as_matrices(), track_decisions=True, backend=backend, sinks=sinks
+            graph.as_matrices(), track_decisions=True, backend=backend, sinks=sinks,
+            injector=injector, observe=observe,
         )
         assert res.decisions is not None
         n_layers = graph.num_layers

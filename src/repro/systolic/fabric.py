@@ -105,6 +105,32 @@ class Register:
         """State as of the last clock edge."""
         return self._current
 
+    @property
+    def pending(self) -> bool:
+        """True when a write is staged for the next clock edge."""
+        return self._dirty
+
+    def cancel(self) -> Any:
+        """Discard the staged write, if any; returns the cancelled value.
+
+        Exists for the fault layer (:mod:`repro.faults`): a dropped shift
+        delivery or a dead link is exactly "the staged write never
+        arrives".  Normal array code never cancels.
+        """
+        staged = self._next
+        self._next = None
+        self._dirty = False
+        return staged
+
+    def force(self, value: Any) -> None:
+        """Overwrite the *latched* state directly, bypassing the clock.
+
+        Exists for the fault layer: a register upset corrupts state
+        between clock edges, which no two-phase ``set``/``latch``
+        sequence can express.  Normal array code never forces.
+        """
+        self._current = value
+
     def set(self, value: Any) -> None:
         """Stage a write for the next clock edge.
 
@@ -173,8 +199,11 @@ class ProcessingElement:
 
 #: Event kinds carried on the bus.  ``op`` is a shift-multiply-accumulate
 #: slot, ``shift`` a pure data movement, ``broadcast`` a bus placement,
-#: ``io`` a port transfer, ``phase`` a control-phase change.
-TRACE_KINDS = ("op", "shift", "broadcast", "io", "phase")
+#: ``io`` a port transfer, ``phase`` a control-phase change.  The last
+#: three belong to the fault layer (:mod:`repro.faults`): ``fault`` marks
+#: an injected hardware fault taking effect, ``detect`` a detector
+#: flagging a suspect run, ``recover`` a recovery action.
+TRACE_KINDS = ("op", "shift", "broadcast", "io", "phase", "fault", "detect", "recover")
 
 #: Kinds that occupy a PE for a tick, i.e. that belong in a space-time
 #: diagram cell.  ``io`` and ``phase`` are array-level bookkeeping.
@@ -208,12 +237,21 @@ class EventBus:
     Emission is a no-op while no sink is subscribed, so instrumented
     simulators pay nothing when tracing is off (guard hot paths with
     :attr:`active` to skip even event construction).
+
+    A sink that raises does not kill the simulation: per-sink exceptions
+    are swallowed, counted in :attr:`sink_errors`, and a bounded sample
+    of them is kept in :attr:`sink_error_samples` for the run report.
     """
 
-    __slots__ = ("_sinks",)
+    __slots__ = ("_sinks", "sink_errors", "sink_error_samples")
+
+    #: At most this many ``(sink repr, exception repr)`` samples are kept.
+    MAX_ERROR_SAMPLES = 8
 
     def __init__(self) -> None:
         self._sinks: list[Callable[[TraceEvent], None]] = []
+        self.sink_errors = 0
+        self.sink_error_samples: list[tuple[str, str]] = []
 
     @property
     def active(self) -> bool:
@@ -237,9 +275,20 @@ class EventBus:
         that unsubscribes itself (or subscribes a new sink) *during*
         ``emit`` cannot mutate the list mid-iteration; a sink added
         while an event is being delivered first sees the next event.
+
+        A sink that raises is isolated: the exception is counted (see
+        :attr:`sink_errors`) and delivery continues with the remaining
+        sinks, so one misbehaving telemetry consumer cannot abort the
+        simulation.  The count surfaces in
+        :attr:`RunReport.sink_errors`.
         """
         for sink in tuple(self._sinks):
-            sink(event)
+            try:
+                sink(event)
+            except Exception as exc:  # noqa: BLE001 - sink isolation
+                self.sink_errors += 1
+                if len(self.sink_error_samples) < self.MAX_ERROR_SAMPLES:
+                    self.sink_error_samples.append((repr(sink), repr(exc)))
 
 
 class TraceSink:
@@ -314,6 +363,10 @@ class RunReport:
     input_words / output_words / broadcast_words:
         I/O-port traffic, for the input-bandwidth comparison of
         Section 3.2.
+    sink_errors:
+        Exceptions raised by subscribed trace sinks during the run
+        (isolated per sink, never aborting the simulation; see
+        :meth:`EventBus.emit`).  0 for healthy telemetry.
     """
 
     design: str
@@ -327,6 +380,7 @@ class RunReport:
     output_words: int
     broadcast_words: int
     backend: str = "rtl"
+    sink_errors: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -373,6 +427,7 @@ def finalize_report(
     iterations: int,
     serial_ops: int,
     backend: str = "rtl",
+    sink_errors: int = 0,
 ) -> RunReport:
     """Assemble the immutable :class:`RunReport` from live simulation state."""
     pes = list(pes)
@@ -388,6 +443,7 @@ def finalize_report(
         output_words=stats.output_words,
         broadcast_words=stats.broadcast_words,
         backend=backend,
+        sink_errors=sink_errors,
     )
 
 
@@ -432,11 +488,17 @@ class SystolicMachine:
         record_trace: bool = False,
         hop_delay: int = 1,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: Any = None,
     ):
         if hop_delay < 0:
             raise SystolicError("hop_delay must be nonnegative")
         self.design = design
         self.hop_delay = hop_delay
+        #: Optional fault injector (:class:`repro.faults.FaultInjector`):
+        #: any object with ``before_latch(machine)`` / ``after_latch(machine)``
+        #: hooks, called around every clock edge.  ``None`` (the default)
+        #: keeps the tick loop byte-for-byte on the healthy path.
+        self.injector = injector
         self.pes: list[ProcessingElement] = []
         self.stats = ArrayStats()
         self.bus = EventBus()
@@ -534,9 +596,19 @@ class SystolicMachine:
 
         ``advance=False`` models control actions that latch registers
         without consuming an iteration slot (Fig. 3's MOVE).
+
+        When a fault :attr:`injector` is attached it is invoked around
+        the latch: ``before_latch`` may cancel staged writes (dropped
+        deliveries, dead PEs/links), ``after_latch`` may corrupt latched
+        state (transient flips, stuck-at registers).
         """
+        injector = self.injector
+        if injector is not None:
+            injector.before_latch(self)
         for pe in self.pes:
             pe.end_tick()
+        if injector is not None:
+            injector.after_latch(self)
         if advance:
             self.stats.record_tick()
             self.tick += 1
@@ -598,6 +670,7 @@ class SystolicMachine:
             iterations=iterations,
             serial_ops=serial_ops,
             backend="rtl",
+            sink_errors=self.bus.sink_errors,
         )
 
 

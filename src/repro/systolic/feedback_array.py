@@ -89,6 +89,10 @@ class FeedbackArrayResult:
     trace: tuple[tuple[int, int, str], ...] = ()
     #: The full typed event stream from the machine's trace bus.
     events: tuple[TraceEvent, ...] = ()
+    #: Per-stage ``h`` vectors as completed at P_m (index ``k-1`` holds
+    #: stage ``k``; stage 1 must be all 1̄), captured when ``observe`` was
+    #: requested — the ABFT detector inputs.  Empty otherwise.
+    stage_values: tuple[np.ndarray, ...] = ()
 
 
 def feedback_pu(num_stages: int, m: int) -> float:
@@ -116,6 +120,8 @@ class FeedbackSystolicArray:
         record_trace: bool = False,
         backend: str | None = None,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool | None = None,
     ) -> FeedbackArrayResult:
         """Run the array on a node-value problem with uniform stage width.
 
@@ -142,8 +148,10 @@ class FeedbackSystolicArray:
             )
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks:
+        if record_trace or sinks or injector is not None:
             resolved = "rtl"
+        if observe is None:
+            observe = injector is not None
         n_stages = problem.num_stages
         m = problem.stage_sizes[0]
         work = (n_stages - 1) * m * m + m
@@ -151,7 +159,8 @@ class FeedbackSystolicArray:
             resolved,
             work=work,
             rtl=lambda: self._run_rtl(
-                problem, n_stages, m, record_trace=record_trace, sinks=sinks
+                problem, n_stages, m, record_trace=record_trace, sinks=sinks,
+                injector=injector, observe=bool(observe),
             ),
             fast=lambda: self._run_fast(problem, n_stages, m),
             validate=self._validate,
@@ -187,6 +196,8 @@ class FeedbackSystolicArray:
         *,
         record_trace: bool = False,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool = False,
     ) -> FeedbackArrayResult:
         sr = self.sr
         f: Callable[[float, float], float] = lambda a, b: float(
@@ -194,7 +205,8 @@ class FeedbackSystolicArray:
         )
 
         machine = SystolicMachine(
-            self.design_name, record_trace=record_trace, sinks=sinks
+            self.design_name, record_trace=record_trace, sinks=sinks,
+            injector=injector,
         )
         pes = machine.add_pes(m)
         for pe in pes:
@@ -224,6 +236,11 @@ class FeedbackSystolicArray:
             k: [-1] * m for k in range(2, n_stages + 1)
         }
         final_h = [sr.zero] * m
+        # With ``observe``: h vectors per stage as completed at P_m, for
+        # the per-stage ABFT checks (stage 1 must come out all 1̄).
+        stage_h: list[list[float]] | None = (
+            [[sr.zero] * m for _ in range(n_stages)] if observe else None
+        )
         optimum: float | None = None
         best_final_index = -1
         # Combinational bypass of the feedback bus: values delivered this
@@ -298,6 +315,12 @@ class FeedbackSystolicArray:
             # schedule its feedback and record path/answers.
             done = pes[m - 1]["PAIR"].value
             if done is not None:
+                if (
+                    stage_h is not None
+                    and done.stage <= n_stages
+                    and 1 <= done.index <= m
+                ):
+                    stage_h[done.stage - 1][done.index - 1] = done.h
                 if done.stage <= n_stages:
                     machine.after(0, deliver(done.index - 1, done.x, done.h))
                 if 2 <= done.stage <= n_stages:
@@ -328,6 +351,9 @@ class FeedbackSystolicArray:
             report=report,
             trace=machine.legacy_trace(),
             events=machine.trace_events(),
+            stage_values=(
+                tuple(sr.asarray(v) for v in stage_h) if stage_h is not None else ()
+            ),
         )
 
     # ------------------------------------------------------------------

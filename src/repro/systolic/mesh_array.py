@@ -90,6 +90,7 @@ class MeshMatrixMultiplier:
         record_trace: bool = False,
         backend: str | None = None,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
     ) -> MeshArrayResult:
         """Multiply ``a ⊗ b`` on an ``n × m`` mesh of PEs.
 
@@ -111,13 +112,14 @@ class MeshMatrixMultiplier:
             raise SystolicError(f"inner dimensions differ: {a.shape} x {b.shape}")
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks:
+        if record_trace or sinks or injector is not None:
             resolved = "rtl"
         return run_with_backend(
             resolved,
             work=n * k * m,
             rtl=lambda: self._run_rtl(
-                a, b, n, k, m, record_trace=record_trace, sinks=sinks
+                a, b, n, k, m, record_trace=record_trace, sinks=sinks,
+                injector=injector,
             ),
             fast=lambda: self._run_fast(a, b, n, k, m),
             validate=self._validate,
@@ -145,10 +147,12 @@ class MeshMatrixMultiplier:
         *,
         record_trace: bool = False,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
     ) -> MeshArrayResult:
         sr = self.sr
         machine = SystolicMachine(
-            self.design_name, record_trace=record_trace, sinks=sinks
+            self.design_name, record_trace=record_trace, sinks=sinks,
+            injector=injector,
         )
         machine.add_pes(n * m)
         pes = [[machine.pes[i * m + j] for j in range(m)] for i in range(n)]

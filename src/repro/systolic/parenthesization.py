@@ -46,6 +46,7 @@ from ..dp.matrix_chain import ChainOrder, _check_dims
 from .fabric import (
     BackendMismatch,
     RunReport,
+    SystolicError,
     SystolicMachine,
     TraceEvent,
     normalize_backend,
@@ -77,6 +78,10 @@ class ParenthesizationRun:
     trace: tuple[tuple[int, int, str], ...] = ()
     #: The full typed event stream from the machine's trace bus.
     events: tuple[TraceEvent, ...] = ()
+    #: With ``observe``: the final per-subproblem cost table as read from
+    #: the ``M`` registers, for cell-level cross-checks against the
+    #: sequential DP table.  ``None`` otherwise.
+    cost_table: dict[tuple[int, int], float] | None = None
 
     @property
     def per_size_completion(self) -> dict[int, int]:
@@ -159,20 +164,25 @@ class _ParenthesizerBase:
         record_trace: bool = False,
         backend: str | None = None,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool | None = None,
     ) -> ParenthesizationRun:
         """Solve eq. (6) for ``dims`` on the array; measure the schedule."""
         dims = _check_dims(dims)
         n = len(dims) - 1
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks:
+        if record_trace or sinks or injector is not None:
             resolved = "rtl"
+        if observe is None:
+            observe = injector is not None
         work = n * (n * n - 1) // 6  # total AND-nodes: sum of (span-1) per cell
         return run_with_backend(
             resolved,
             work=work,
             rtl=lambda: self._run_rtl(
-                dims, n, record_trace=record_trace, sinks=sinks
+                dims, n, record_trace=record_trace, sinks=sinks,
+                injector=injector, observe=bool(observe),
             ),
             fast=lambda: self._run_fast(dims, n),
             validate=self._validate,
@@ -203,15 +213,17 @@ class _ParenthesizerBase:
         *,
         record_trace: bool = False,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool = False,
     ) -> ParenthesizationRun:
         r = np.asarray(dims, dtype=np.int64)
-        m = {(i, i): 0 for i in range(1, n + 1)}
         split: dict[tuple[int, int], int] = {}
         done = {(i, i): self.base_time for i in range(1, n + 1)}
         alternatives = 0
 
         machine = SystolicMachine(
-            self.design_name, record_trace=record_trace, sinks=sinks
+            self.design_name, record_trace=record_trace, sinks=sinks,
+            injector=injector,
         )
         for _ in range(self.base_time):  # leaves load during the base steps
             machine.end_tick()
@@ -224,7 +236,21 @@ class _ParenthesizerBase:
                 pending[(i, i + span - 1)] = [(0, k) for k in range(i, i + span - 1)]
         machine.add_pes(len(pending))
         pe_index = {key: idx for idx, key in enumerate(sorted(pending))}
+        # The OR-node's running minimum lives in a clocked register, so
+        # the data plane (costs) is faultable state; the scheduling
+        # scoreboard (`done`/`pending`) is the control plane and is
+        # assumed fault-free.
+        for pe in machine.pes:
+            pe.reg("M", None)
         serial_ops = sum(len(alts) for alts in pending.values())
+
+        def cell_value(key: tuple[int, int]) -> float:
+            """Latched cost of a subproblem; a never-written M reads ∞."""
+            i, j = key
+            if i == j:
+                return 0.0
+            v = machine.pes[pe_index[key]]["M"].value
+            return float("inf") if v is None else float(v)
 
         unresolved = set(pending)
         step = self.base_time
@@ -239,6 +265,8 @@ class _ParenthesizerBase:
                 capacity = self.alternatives_per_step
                 remaining: list[tuple[int, int]] = []
                 folded = 0
+                pe = machine.pes[pe_index[key]]
+                staged = pe["M"].value  # running minimum latched so far
                 for _prio, k in pending[key]:
                     left, right = (i, k), (k + 1, j)
                     if left not in done or right not in done:
@@ -249,9 +277,13 @@ class _ParenthesizerBase:
                         done[right] + self._transfer_delay(size, j - k),
                     )
                     if avail <= step - 1 and folded < capacity:
-                        cost = m[left] + m[right] + int(r[i - 1] * r[k] * r[j])
-                        if key not in split or cost < m[key]:
-                            m[key] = cost
+                        cost = (
+                            cell_value(left)
+                            + cell_value(right)
+                            + float(r[i - 1] * r[k] * r[j])
+                        )
+                        if staged is None or cost < staged:
+                            staged = cost
                             split[key] = k
                         folded += 1
                         alternatives += 1
@@ -259,8 +291,9 @@ class _ParenthesizerBase:
                         remaining.append((_prio, k))
                 pending[key] = remaining
                 if folded:
-                    machine.pes[pe_index[key]].count_op(folded)
+                    pe.count_op(folded)
                     machine.emit("op", pe_index[key], f"m{i},{j}")
+                    pe["M"].set(staged)
                 if not remaining and key in split:
                     done[key] = step
                     newly_done.append(key)
@@ -279,7 +312,13 @@ class _ParenthesizerBase:
             return (build(i, k), build(k + 1, j))
 
         machine.write_output(1, label="out:cost")
-        order = ChainOrder(dims=dims, expression=build(1, n), cost=int(m[(1, n)]))
+        final_cost = cell_value((1, n)) if n > 1 else 0.0
+        if not np.isfinite(final_cost):
+            raise SystolicError(
+                f"{self.design_name}: non-finite chain cost {final_cost!r} "
+                "(a cost register never latched a value)"
+            )
+        order = ChainOrder(dims=dims, expression=build(1, n), cost=int(final_cost))
         goal_step = done[(1, n)]
         return ParenthesizationRun(
             order=order,
@@ -290,6 +329,9 @@ class _ParenthesizerBase:
             report=machine.finalize(iterations=goal_step, serial_ops=serial_ops),
             trace=machine.legacy_trace(),
             events=machine.trace_events(),
+            cost_table=(
+                {key: cell_value(key) for key in pe_index} if observe else None
+            ),
         )
 
     # ------------------------------------------------------------------

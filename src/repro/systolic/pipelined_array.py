@@ -68,6 +68,10 @@ class PipelinedArrayResult:
     #: The full typed event stream (``op``/``io``/``phase``) from the
     #: machine's trace bus, when ``record_trace`` was requested.
     events: tuple[TraceEvent, ...] = ()
+    #: Per-phase ``(x, y)`` boundary vectors (phase input as the array saw
+    #: it, phase output as latched), captured when ``observe`` was
+    #: requested — the data the ABFT detectors check.  Empty otherwise.
+    phase_values: tuple[tuple[np.ndarray, np.ndarray], ...] = ()
 
 
 def _normalize_string(
@@ -123,6 +127,8 @@ class PipelinedMatrixStringArray:
         record_trace: bool = False,
         backend: str | None = None,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool | None = None,
     ) -> PipelinedArrayResult:
         """Evaluate the matrix string right-to-left on the array.
 
@@ -144,18 +150,27 @@ class PipelinedMatrixStringArray:
         :class:`~repro.telemetry.MetricsSink` /
         :class:`~repro.telemetry.TimelineSink`) subscribed to the
         machine's event bus for the duration of the run.
+
+        ``injector`` attaches a fault injector (:mod:`repro.faults`) to
+        the machine's tick loop, which also forces RTL — faults are a
+        cycle-level phenomenon.  ``observe`` captures the per-phase
+        boundary vectors for the ABFT detectors (defaults to on exactly
+        when an injector is attached).
         """
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks:
+        if record_trace or sinks or injector is not None:
             resolved = "rtl"
+        if observe is None:
+            observe = injector is not None
         mats, vec, m = _normalize_string(self.sr, matrices)
         work = sum(int(mm.shape[0]) * int(mm.shape[1]) for mm in mats)
         return run_with_backend(
             resolved,
             work=work,
             rtl=lambda: self._run_rtl(
-                mats, vec, m, record_trace=record_trace, sinks=sinks
+                mats, vec, m, record_trace=record_trace, sinks=sinks,
+                injector=injector, observe=bool(observe),
             ),
             fast=lambda: self._run_fast(mats, vec, m),
             validate=self._validate,
@@ -186,10 +201,13 @@ class PipelinedMatrixStringArray:
         *,
         record_trace: bool = False,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool = False,
     ) -> PipelinedArrayResult:
         sr = self.sr
         machine = SystolicMachine(
-            self.design_name, record_trace=record_trace, sinks=sinks
+            self.design_name, record_trace=record_trace, sinks=sinks,
+            injector=injector,
         )
         pes = machine.add_pes(m)
         for pe in pes:
@@ -203,6 +221,7 @@ class PipelinedMatrixStringArray:
         scalar_result: float | None = None
         num_phases = len(mats)
         serial_ops = 0
+        phase_values: list[tuple[np.ndarray, np.ndarray]] = []
 
         for phase in range(num_phases):
             mat = mats[num_phases - 1 - phase]  # right-to-left product order
@@ -210,6 +229,14 @@ class PipelinedMatrixStringArray:
             is_row_vector = mat.shape[0] == 1 and m > 1
             serial_ops += mat.shape[0] * mat.shape[1]
             machine.begin_phase(f"p{phase}:{'A' if mode_a else 'B'}", start=phase * m)
+            x_snap: np.ndarray | None = None
+            if observe:
+                # The phase input as the array actually holds it: the
+                # moving stream in Mode A, the post-MOVE X registers in
+                # Mode B (a fault there must show up in the checks).
+                x_snap = sr.asarray(
+                    moving if mode_a else [pe["X"].value for pe in pes]
+                )
             if is_row_vector:
                 if phase != num_phases - 1:
                     raise SystolicError("row-vector operand must be leftmost")
@@ -218,8 +245,12 @@ class PipelinedMatrixStringArray:
                     if mode_a
                     else self._scalar_phase_b(machine, mat)
                 )
+                if observe and x_snap is not None:
+                    phase_values.append((x_snap, sr.asarray([scalar_result])))
             elif mode_a:
                 acc = self._phase_a(machine, mat, moving)
+                if observe and x_snap is not None:
+                    phase_values.append((x_snap, sr.asarray(acc)))
                 # MOVE: stationary result becomes the stationary input of
                 # the next (Mode B) phase.  A control action, not a
                 # compute iteration — no tick charged (paper Fig. 3(b)).
@@ -229,6 +260,8 @@ class PipelinedMatrixStringArray:
                 moving = []
             else:
                 moving = self._phase_b(machine, mat)
+                if observe and x_snap is not None:
+                    phase_values.append((x_snap, sr.asarray(moving)))
 
         # Pipeline drain for the skewed schedule.
         for _ in range(m - 1):
@@ -248,6 +281,7 @@ class PipelinedMatrixStringArray:
             report=report,
             trace=machine.legacy_trace(),
             events=machine.trace_events(),
+            phase_values=tuple(phase_values),
         )
 
     # ------------------------------------------------------------------
@@ -309,6 +343,8 @@ class PipelinedMatrixStringArray:
         record_trace: bool = False,
         backend: str | None = None,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
+        injector: object = None,
+        observe: bool | None = None,
     ) -> PipelinedArrayResult:
         """Evaluate a single-sink multistage graph (backward formulation).
 
@@ -323,6 +359,8 @@ class PipelinedMatrixStringArray:
             record_trace=record_trace,
             backend=backend,
             sinks=sinks,
+            injector=injector,
+            observe=observe,
         )
 
     # ------------------------------------------------------------------

@@ -191,3 +191,164 @@ class TestCompare:
         # (never reproducible) may remain.
         for line in out.splitlines()[2:]:
             assert line.startswith(("timing:", "(no metrics)"))
+
+
+class TestInject:
+    def _flip_plan(self, tmp_path):
+        import json
+
+        path = tmp_path / "flip.json"
+        path.write_text(json.dumps({
+            "kind": "fault_plan", "design": "pipelined",
+            "specs": [{"mode": "transient_flip", "pe": 1, "reg": "ACC",
+                       "tick": 1, "delta": -1000.0}],
+        }))
+        return path
+
+    def test_campaign_table_and_health_line(self, capsys):
+        assert main(["inject", "--design", "pipelined", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "design" in out and "silent" in out  # the rate table header
+        assert "pipelined" in out
+        assert "every output-corrupting fault was detected or recovered" in out
+
+    def test_campaign_json_suite(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "suite.json"
+        assert main(
+            ["inject", "--design", "mesh", "--trials", "5", "--json", str(f)]
+        ) == 0
+        payload = json.loads(f.read_text())
+        assert payload["kind"] == "fault_campaign_suite"
+        assert payload["campaigns"][0]["design"] == "mesh"
+        assert payload["campaigns"][0]["undetected_effective"] == 0
+        assert payload["metrics"]["kind"] == "metrics_snapshot"
+
+    def test_plan_file_retry_recovers(self, tmp_path, capsys):
+        plan = self._flip_plan(tmp_path)
+        assert main(["inject", "--fault-plan", str(plan), "--policy", "retry"]) == 0
+        out = capsys.readouterr().out
+        assert "outcome recovered" in out
+
+    def test_plan_file_spare_reports_degraded_pu(self, tmp_path, capsys):
+        import json
+
+        plan = tmp_path / "dead.json"
+        plan.write_text(json.dumps({
+            "kind": "fault_plan", "design": "pipelined",
+            "specs": [{"mode": "dead_pe", "pe": 1, "tick": 2}],
+        }))
+        record = tmp_path / "run.json"
+        assert main(
+            ["inject", "--fault-plan", str(plan), "--policy", "spare",
+             "--json", str(record)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "outcome degraded" in out
+        assert "spare-PE remap of PE 1" in out
+        payload = json.loads(record.read_text())
+        assert payload["kind"] == "fault_run_record"
+        assert payload["run"]["outcome"] == "degraded"
+
+    def test_plan_design_mismatch_is_a_cli_error(self, tmp_path, capsys):
+        plan = self._flip_plan(tmp_path)
+        assert main(
+            ["inject", "--fault-plan", str(plan), "--design", "mesh"]
+        ) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_missing_plan_file_exits_2(self, tmp_path, capsys):
+        assert main(["inject", "--fault-plan", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_corrupted_plan_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["inject", "--fault-plan", str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unknown_design_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inject", "--design", "hypercube"])
+        assert excinfo.value.code == 2
+
+
+class TestTraceFaultPlan:
+    def test_trace_under_plan_reports_injections(self, tmp_path, capsys):
+        import json
+
+        from repro.io import load_run_record
+
+        plan = tmp_path / "flip.json"
+        plan.write_text(json.dumps({
+            "kind": "fault_plan", "design": "pipelined",
+            "specs": [{"mode": "transient_flip", "pe": 1, "reg": "ACC",
+                       "tick": 1, "delta": -1000.0}],
+        }))
+        out_file = tmp_path / "run.json"
+        assert main(
+            ["trace", "--design", "pipelined", "--n", "4", "--m", "3",
+             "--fault-plan", str(plan), "--export", "json", "--out", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 spec(s), 1 injection(s) performed" in out
+        rec = load_run_record(out_file)
+        assert rec.faults is not None
+        assert rec.faults["kind"] == "fault_trace"
+        assert len(rec.faults["injections"]) == 1
+        assert any(ev.kind == "fault" for ev in rec.events)
+
+    def test_trace_plan_design_mismatch_exits_2(self, tmp_path, capsys):
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "kind": "fault_plan", "design": "mesh",
+            "specs": [{"mode": "dead_pe", "pe": 0}],
+        }))
+        assert main(
+            ["trace", "--design", "pipelined", "--fault-plan", str(plan)]
+        ) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_trace_crash_under_injection_exits_1(self, tmp_path, capsys):
+        import json
+
+        plan = tmp_path / "dead.json"
+        plan.write_text(json.dumps({
+            "kind": "fault_plan", "design": "feedback",
+            "specs": [{"mode": "dead_pe", "pe": 1, "tick": 2}],
+        }))
+        assert main(
+            ["trace", "--design", "feedback", "--n", "4", "--m", "3",
+             "--fault-plan", str(plan)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "run crashed under fault injection" in out
+
+
+class TestCliErrors:
+    def test_compare_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_compare_corrupted_record_exits_2(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        a.write_text("{broken")
+        assert main(["compare", str(a), str(a)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_invalid_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "--backend", "quantum"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_trace_design_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--design", "hypercube"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,152 @@
+"""Unit tests for the ABFT checksum and invariant detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    Detection,
+    FaultDetected,
+    abft_matmul,
+    abft_matvec,
+    bounds_matvec,
+    traceback_in_range,
+    values_match,
+)
+from repro.semiring import MIN_PLUS, PLUS_TIMES, matvec
+
+
+def _clean_phase(rng, m=5):
+    mat = rng.integers(0, 9, size=(m, m)).astype(float)
+    x = rng.integers(0, 9, size=m).astype(float)
+    y = matvec(MIN_PLUS, mat, x)
+    return mat, x, y
+
+
+class TestAbftMatvec:
+    def test_clean_phase_passes(self, rng):
+        mat, x, y = _clean_phase(rng)
+        assert abft_matvec(MIN_PLUS, mat, x, y) is None
+
+    def test_lowered_output_is_caught(self, rng):
+        # Lowering any y_i changes the min-reduction: always detectable.
+        mat, x, y = _clean_phase(rng)
+        y = y.copy()
+        y[2] = y.min() - 5.0
+        det = abft_matvec(MIN_PLUS, mat, x, y, phase=3)
+        assert det is not None
+        assert det.detector == "abft_checksum" and det.phase == 3
+
+    def test_corrupted_winner_is_caught(self):
+        # Deterministic instance with a UNIQUE minimum: raising the
+        # winner moves the min-reduction (a tied winner could mask it).
+        mat = np.array([[0.0, 9.0], [9.0, 0.0]])
+        x = np.array([1.0, 5.0])
+        y = matvec(MIN_PLUS, mat, x)  # [1., 5.]
+        y[0] += 97.0
+        assert abft_matvec(MIN_PLUS, mat, x, y) is not None
+
+    def test_idempotent_masking_is_documented_behavior(self, rng):
+        # Raising a NON-winning entry leaves the min-reduction unchanged:
+        # the checksum cannot see it (and neither can any downstream
+        # output — the fault is benign).  The shadow oracle covers the
+        # final-answer completeness instead.
+        mat, x, y = _clean_phase(rng)
+        y = y.copy()
+        loser = int(np.argmax(y))
+        if loser == int(np.argmin(y)):  # degenerate all-equal draw
+            pytest.skip("degenerate instance: all outputs tie")
+        y[loser] += 97.0
+        assert abft_matvec(MIN_PLUS, mat, x, y) is None
+
+    def test_non_idempotent_semiring_catches_any_change(self, rng):
+        # Over plus-times the ⊕-reduction is a sum: every perturbation
+        # of any entry moves it.
+        mat = rng.integers(1, 5, size=(4, 4)).astype(float)
+        x = rng.integers(1, 5, size=4).astype(float)
+        y = matvec(PLUS_TIMES, mat, x)
+        assert abft_matvec(PLUS_TIMES, mat, x, y) is None
+        y[3] += 1.0
+        assert abft_matvec(PLUS_TIMES, mat, x, y) is not None
+
+
+class TestAbftMatmul:
+    def test_clean_product_passes(self, rng):
+        a = rng.integers(0, 9, size=(4, 4)).astype(float)
+        b = rng.integers(0, 9, size=(4, 4)).astype(float)
+        c = np.min(a[:, :, None] + b[None, :, :], axis=1)
+        assert abft_matmul(MIN_PLUS, a, b, c) is None
+
+    def test_lowered_cell_is_caught(self, rng):
+        a = rng.integers(0, 9, size=(4, 4)).astype(float)
+        b = rng.integers(0, 9, size=(4, 4)).astype(float)
+        c = np.min(a[:, :, None] + b[None, :, :], axis=1)
+        c[1, 2] = -50.0
+        det = abft_matmul(MIN_PLUS, a, b, c)
+        assert det is not None and "checksum" in det.message
+
+
+class TestBoundsMatvec:
+    def test_clean_phase_passes(self, rng):
+        mat, x, y = _clean_phase(rng)
+        assert bounds_matvec(MIN_PLUS, mat, x, y) is None
+
+    def test_phantom_shortcut_violates_lower_bound(self, rng):
+        # An output cheaper than every candidate cost is impossible —
+        # caught even though it still "wins" a consistent reduction.
+        mat, x, y = _clean_phase(rng)
+        y = y.copy()
+        y[0] = -100.0
+        det = bounds_matvec(MIN_PLUS, mat, x, y, phase=1)
+        assert det is not None
+        assert det.detector == "bounds" and det.pe == 0
+
+    def test_non_ordered_semiring_opts_out(self, rng):
+        mat, x, y = _clean_phase(rng)
+        assert bounds_matvec(PLUS_TIMES, mat, x, y * 0 - 100.0) is None
+
+
+class TestTracebackInRange:
+    def test_valid_pointers_pass(self):
+        assert traceback_in_range([0, 3, 2], 4) is None
+
+    def test_out_of_range_pointer_is_caught(self):
+        det = traceback_in_range([0, 7, 2], 4, what="path")
+        assert det is not None
+        assert "path[1]" in det.message and det.pe == 1
+
+    def test_non_integer_pointer_is_caught(self):
+        assert traceback_in_range([0, 1.5], 4) is not None
+
+
+class TestValuesMatch:
+    def test_matching_infinities(self):
+        assert values_match([1.0, np.inf], [1.0, np.inf])
+        assert not values_match([np.inf], [-np.inf])
+        assert not values_match([np.inf], [1.0])
+
+    def test_shape_mismatch_is_a_mismatch(self):
+        assert not values_match([1.0, 2.0], [1.0])
+
+    def test_scalar_tolerance(self):
+        assert values_match(1.0, 1.0 + 1e-12)
+        assert not values_match(1.0, 1.1)
+
+
+class TestDetectionPlumbing:
+    def test_round_trip(self):
+        det = Detection(detector="abft_checksum", message="boom", phase=2, pe=1)
+        assert Detection.from_dict(det.to_dict()) == det
+
+    def test_to_dict_drops_nones(self):
+        d = Detection(detector="oracle", message="m").to_dict()
+        assert "phase" not in d and "pe" not in d
+
+    def test_fault_detected_message_joins_detections(self):
+        exc = FaultDetected(
+            [Detection(detector="a", message="first"),
+             Detection(detector="b", message="second")]
+        )
+        assert "first" in str(exc) and "second" in str(exc)
+        assert len(exc.detections) == 2

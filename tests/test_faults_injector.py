@@ -1,0 +1,203 @@
+"""Unit tests for the fault injector's latch-edge hooks.
+
+Each mode is exercised on a hand-built :class:`SystolicMachine`, so the
+expected corrupted values can be asserted exactly, independent of any
+array design's schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.systolic import PipelinedMatrixStringArray
+from repro.systolic.fabric import SystolicMachine
+
+
+def _machine(plan, *, n_pes=2, regs=("R", "ACC"), record_trace=False):
+    machine = SystolicMachine(
+        "test", record_trace=record_trace, injector=FaultInjector(plan)
+    )
+    for pe in machine.add_pes(n_pes):
+        for name in regs:
+            pe.reg(name, 0.0)
+    return machine
+
+
+def _step(machine, **writes):
+    """Stage ``reg=value`` writes on PE 0 and clock one edge."""
+    for name, value in writes.items():
+        machine.pes[0][name].set(value)
+    machine.end_tick()
+
+
+class TestTransientFlip:
+    def test_fires_once_with_default_delta(self):
+        plan = FaultPlan(specs=(FaultSpec(mode="transient_flip", pe=0, reg="R", tick=2),))
+        m = _machine(plan)
+        _step(m, R=5.0)
+        assert m.pes[0]["R"].value == 5.0  # not armed yet
+        _step(m, R=6.0)
+        assert m.pes[0]["R"].value == 103.0  # 6.0 + default delta 97
+        _step(m, R=7.0)
+        assert m.pes[0]["R"].value == 7.0  # fired once, gone
+        assert len(m.injector.injections) == 1
+        inj = m.injector.injections[0]
+        assert inj.mode == "transient_flip" and inj.tick == 2
+
+    def test_infinity_becomes_phantom_finite_value(self):
+        # A flip on an ∞ (no-edge) entry materializes a phantom path
+        # with cost `delta` — detectable, unlike ∞ + δ = ∞.
+        plan = FaultPlan(
+            specs=(FaultSpec(mode="transient_flip", pe=0, reg="R", tick=1, delta=9.0),)
+        )
+        m = _machine(plan)
+        _step(m, R=float("inf"))
+        assert m.pes[0]["R"].value == 9.0
+
+    def test_waits_for_a_perturbable_value(self):
+        # Armed at tick 1 but the register holds None until tick 3.
+        plan = FaultPlan(specs=(FaultSpec(mode="transient_flip", pe=0, reg="R", tick=1),))
+        m = SystolicMachine("test", injector=FaultInjector(plan))
+        m.add_pes(1)[0].reg("R", None)
+        m.end_tick()
+        m.end_tick()
+        assert m.pes[0]["R"].value is None
+        m.pes[0]["R"].set(1.0)
+        m.end_tick()
+        assert m.pes[0]["R"].value == 98.0
+        assert [i.tick for i in m.injector.injections] == [3]
+
+
+class TestStuckAt:
+    def test_forces_value_every_armed_tick(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(mode="stuck_at", pe=0, reg="R", tick=2, value=42.0),)
+        )
+        m = _machine(plan)
+        _step(m, R=1.0)
+        assert m.pes[0]["R"].value == 1.0
+        _step(m, R=2.0)
+        assert m.pes[0]["R"].value == 42.0
+        _step(m, R=3.0)
+        assert m.pes[0]["R"].value == 42.0
+        # Recorded once (on the first actual corruption), not per tick.
+        assert len(m.injector.injections) == 1
+
+    def test_bounded_window_releases_the_register(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(mode="stuck_at", pe=0, reg="R", tick=1, duration=2, value=0.5),
+            )
+        )
+        m = _machine(plan)
+        _step(m, R=1.0)
+        _step(m, R=2.0)
+        assert m.pes[0]["R"].value == 0.5
+        _step(m, R=3.0)
+        assert m.pes[0]["R"].value == 3.0
+
+
+class TestDropDelivery:
+    def test_staged_write_never_arrives(self):
+        plan = FaultPlan(specs=(FaultSpec(mode="drop_delivery", pe=0, reg="R", tick=2),))
+        m = _machine(plan)
+        _step(m, R=1.0)
+        _step(m, R=2.0)  # dropped
+        assert m.pes[0]["R"].value == 1.0
+        _step(m, R=3.0)
+        assert m.pes[0]["R"].value == 3.0
+        assert len(m.injector.injections) == 1
+
+    def test_no_injection_recorded_without_a_staged_write(self):
+        plan = FaultPlan(specs=(FaultSpec(mode="drop_delivery", pe=0, reg="R", tick=2),))
+        m = _machine(plan)
+        _step(m, R=1.0)
+        m.end_tick()  # tick 2: nothing staged, nothing to drop
+        assert m.injector.injections == []
+
+
+class TestDuplicateDelivery:
+    def test_replays_the_captured_value_once(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(mode="duplicate_delivery", pe=0, reg="R", tick=2),)
+        )
+        m = _machine(plan)
+        _step(m, R=1.0)
+        _step(m, R=2.0)  # captured after this edge
+        assert m.pes[0]["R"].value == 2.0
+        _step(m, R=3.0)  # fresh delivery overwritten by the stutter
+        assert m.pes[0]["R"].value == 2.0
+        _step(m, R=4.0)
+        assert m.pes[0]["R"].value == 4.0
+        assert len(m.injector.injections) == 1
+
+
+class TestDeadPeAndLink:
+    def test_dead_pe_freezes_every_register(self):
+        plan = FaultPlan(specs=(FaultSpec(mode="dead_pe", pe=0, tick=2),))
+        m = _machine(plan)
+        _step(m, R=1.0, ACC=10.0)
+        _step(m, R=2.0, ACC=20.0)
+        _step(m, R=3.0, ACC=30.0)
+        assert m.pes[0]["R"].value == 1.0
+        assert m.pes[0]["ACC"].value == 10.0
+
+    def test_dead_pe_leaves_other_pes_alone(self):
+        plan = FaultPlan(specs=(FaultSpec(mode="dead_pe", pe=0, tick=1),))
+        m = _machine(plan)
+        m.pes[1]["R"].set(7.0)
+        m.end_tick()
+        assert m.pes[1]["R"].value == 7.0
+
+    def test_dead_link_freezes_only_the_named_register(self):
+        plan = FaultPlan(specs=(FaultSpec(mode="dead_link", pe=0, reg="R", tick=2),))
+        m = _machine(plan)
+        _step(m, R=1.0, ACC=10.0)
+        _step(m, R=2.0, ACC=20.0)
+        assert m.pes[0]["R"].value == 1.0  # link down
+        assert m.pes[0]["ACC"].value == 20.0  # local state still latches
+
+
+class TestBookkeeping:
+    def test_fault_events_reach_the_trace_bus(self):
+        plan = FaultPlan(specs=(FaultSpec(mode="stuck_at", pe=1, reg="ACC", tick=1, value=0.0),))
+        m = _machine(plan, record_trace=True)
+        m.pes[1]["ACC"].set(5.0)
+        m.end_tick()
+        faults = [ev for ev in m.trace_events() if ev.kind == "fault"]
+        assert len(faults) == 1
+        assert faults[0].pe == 1
+        assert "stuck_at" in faults[0].label and "ACC" in faults[0].label
+
+    def test_injection_record_round_trips(self):
+        plan = FaultPlan(specs=(FaultSpec(mode="transient_flip", pe=0, reg="R", tick=1),))
+        m = _machine(plan)
+        _step(m, R=1.0)
+        d = m.injector.injections[0].to_dict()
+        assert d["mode"] == "transient_flip" and d["pe"] == 0 and d["reg"] == "R"
+        assert isinstance(d["before"], str) and isinstance(d["after"], str)
+
+    def test_inert_specs_flag_bad_addresses(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(mode="transient_flip", pe=99, reg="R", tick=1),
+                FaultSpec(mode="stuck_at", pe=0, reg="NOPE", tick=1, value=0.0),
+                FaultSpec(mode="transient_flip", pe=0, reg="R", tick=1),
+            )
+        )
+        m = _machine(plan)
+        _step(m, R=1.0)
+        assert m.injector.inert_specs() == (0, 1)  # spec indices
+        assert len(m.injector.injections) == 1
+
+    def test_empty_plan_is_bit_identical_to_no_injector(self, rng):
+        mats = [rng.integers(0, 7, size=(4, 4)).astype(float) for _ in range(3)]
+        mats.append(rng.integers(0, 7, size=(4, 1)).astype(float))
+        arr = PipelinedMatrixStringArray()
+        clean = arr.run([m.copy() for m in mats], backend="rtl")
+        injector = FaultInjector(FaultPlan(design="pipelined"))
+        faulty = arr.run([m.copy() for m in mats], backend="rtl", injector=injector)
+        assert np.array_equal(np.asarray(clean.value), np.asarray(faulty.value))
+        assert injector.injections == []

@@ -1,0 +1,168 @@
+"""Unit tests for declarative fault plans and their serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_MODES,
+    PERSISTENT_MODES,
+    TRANSIENT_MODES,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    random_plan,
+)
+
+
+class TestFaultSpecValidation:
+    def test_modes_partition(self):
+        assert set(TRANSIENT_MODES) | set(PERSISTENT_MODES) == set(FAULT_MODES)
+        assert not set(TRANSIENT_MODES) & set(PERSISTENT_MODES)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FaultPlanError, match="mode"):
+            FaultSpec(mode="gamma_ray", pe=0, reg="R")
+
+    def test_stuck_at_requires_value(self):
+        with pytest.raises(FaultPlanError, match="value"):
+            FaultSpec(mode="stuck_at", pe=0, reg="R")
+
+    def test_register_modes_require_reg(self):
+        for mode in ("transient_flip", "stuck_at", "drop_delivery",
+                     "duplicate_delivery", "dead_link"):
+            with pytest.raises(FaultPlanError, match="reg"):
+                FaultSpec(mode=mode, pe=0, value=1.0)
+
+    def test_dead_pe_needs_no_reg(self):
+        spec = FaultSpec(mode="dead_pe", pe=3, tick=2)
+        assert spec.reg is None and not spec.transient
+
+    def test_tick_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="tick"):
+            FaultSpec(mode="transient_flip", pe=0, reg="R", tick=0)
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="duration"):
+            FaultSpec(mode="stuck_at", pe=0, reg="R", value=1.0, duration=0)
+
+
+class TestWindows:
+    def test_transient_default_window_is_one_tick(self):
+        spec = FaultSpec(mode="drop_delivery", pe=0, reg="R", tick=5)
+        assert spec.window() == (5, 5)
+        assert not spec.armed_at(4)
+        assert spec.armed_at(5)
+        assert not spec.armed_at(6)
+
+    def test_persistent_default_window_is_unbounded(self):
+        spec = FaultSpec(mode="dead_pe", pe=0, tick=3)
+        lo, hi = spec.window()
+        assert lo == 3 and hi == float("inf")
+        assert spec.armed_at(10_000)
+
+    def test_explicit_duration(self):
+        spec = FaultSpec(mode="stuck_at", pe=0, reg="R", value=0.0, tick=2, duration=3)
+        assert [spec.armed_at(t) for t in range(1, 7)] == [
+            False, True, True, True, False, False,
+        ]
+
+
+class TestRoundTrip:
+    def test_spec_dict_roundtrip(self):
+        spec = FaultSpec(mode="stuck_at", pe=2, reg="ACC", tick=4, value=9.5)
+        again = FaultSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_spec_dict_drops_nones(self):
+        d = FaultSpec(mode="dead_pe", pe=1).to_dict()
+        assert "reg" not in d and "value" not in d
+
+    def test_spec_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown"):
+            FaultSpec.from_dict({"mode": "dead_pe", "pe": 0, "bogus": 1})
+
+    def test_plan_file_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(mode="transient_flip", pe=0, reg="R", tick=2),
+                FaultSpec(mode="dead_pe", pe=1, tick=3),
+            ),
+            design="pipelined",
+            seed=42,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        again = FaultPlan.load(path)
+        assert again == plan
+        assert json.loads(path.read_text())["kind"] == "fault_plan"
+
+    def test_load_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(tmp_path / "nope.json")
+
+    def test_load_corrupted_json_is_typed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "fault_plan", "specs": [')
+        with pytest.raises(FaultPlanError, match="JSON"):
+            FaultPlan.load(path)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="kind"):
+            FaultPlan.from_dict({"kind": "systolic_run", "specs": []})
+
+
+class TestPlanSurgery:
+    def _plan(self):
+        return FaultPlan(
+            specs=(
+                FaultSpec(mode="transient_flip", pe=0, reg="R", tick=1),
+                FaultSpec(mode="stuck_at", pe=1, reg="R", tick=1, value=0.0),
+                FaultSpec(mode="dead_pe", pe=2, tick=1),
+            ),
+            design="pipelined",
+        )
+
+    def test_drop_transients_keeps_persistent(self):
+        reduced = self._plan().drop_transients()
+        assert [s.mode for s in reduced] == ["stuck_at", "dead_pe"]
+
+    def test_without_pe(self):
+        reduced = self._plan().without_pe(2)
+        assert all(s.pe != 2 for s in reduced)
+        assert len(reduced) == 2
+
+    def test_dead_pes_covers_every_persistent_fault(self):
+        # stuck_at on PE 1 is broken hardware too, not just dead_pe.
+        assert self._plan().dead_pes() == (1, 2)
+
+    def test_persistent_specs(self):
+        assert all(
+            s.mode in PERSISTENT_MODES for s in self._plan().persistent_specs
+        )
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(
+            design="pipelined", num_pes=4, registers=("R", "ACC"),
+            horizon=20, n_faults=3,
+        )
+        a = random_plan(np.random.default_rng(7), **kwargs)
+        b = random_plan(np.random.default_rng(7), **kwargs)
+        assert a.specs == b.specs
+
+    def test_specs_respect_geometry(self):
+        plan = random_plan(
+            np.random.default_rng(0), design="mesh", num_pes=9,
+            registers=("C", "A", "B"), horizon=12, n_faults=50,
+        )
+        for spec in plan:
+            assert 0 <= spec.pe < 9
+            assert 1 <= spec.tick <= 12
+            assert spec.mode in FAULT_MODES
+            if spec.mode != "dead_pe":
+                assert spec.reg in ("C", "A", "B")

@@ -1,0 +1,205 @@
+"""Recovery policies, fault-run reports, and seeded campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    DESIGNS,
+    CampaignReport,
+    Detection,
+    DesignHarness,
+    FaultDetected,
+    FaultPlan,
+    FaultPlanError,
+    FaultRunReport,
+    FaultSpec,
+    make_harness,
+    run_campaign,
+    run_guarded,
+    run_with_recovery,
+)
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture()
+def pipelined_harness():
+    return make_harness("pipelined", np.random.default_rng(0xC0FFEE), n=6, m=4)
+
+
+# A transient flip that provably corrupts the 0xC0FFEE pipelined
+# instance (δ = −1000 wins every min-plus reduction it touches) but
+# fires once, so a retry clears it.
+EFFECTIVE_FLIP = FaultSpec(
+    mode="transient_flip", pe=1, reg="ACC", tick=1, delta=-1000.0
+)
+EFFECTIVE_STUCK = FaultSpec(mode="stuck_at", pe=1, reg="ACC", tick=1, value=-1000.0)
+
+
+class TestRunGuarded:
+    def test_crash_becomes_a_detection(self):
+        class Exploding(DesignHarness):
+            design = "exploding"
+
+            def run(self, **_kw):
+                raise ValueError("register held a pair, expected a float")
+
+        result, detections = run_guarded(Exploding())
+        assert result is None
+        assert len(detections) == 1
+        assert detections[0].detector == "crash"
+        assert "ValueError" in detections[0].message
+
+    def test_clean_run_has_no_detections(self, pipelined_harness):
+        result, detections = run_guarded(pipelined_harness)
+        assert result is not None and detections == []
+
+
+class TestPolicies:
+    def test_no_fault_is_clean(self, pipelined_harness):
+        result, report = run_with_recovery(
+            pipelined_harness, FaultPlan(design="pipelined"), policy="retry"
+        )
+        assert report.outcome == "clean" and not report.effective
+        assert result is not None and report.attempts == 1
+
+    def test_retry_recovers_a_transient(self, pipelined_harness):
+        result, report = run_with_recovery(
+            pipelined_harness,
+            FaultPlan(specs=(EFFECTIVE_FLIP,), design="pipelined"),
+            policy="retry",
+        )
+        assert report.effective
+        assert report.outcome == "recovered" and report.recovered
+        assert report.attempts == 2
+        assert {d.detector for d in report.detections} >= {"abft_checksum"}
+        assert report.injections and report.injections[0]["mode"] == "transient_flip"
+        # The recovered result matches the clean reference exactly.
+        assert pipelined_harness.canonical(result) == pipelined_harness.canonical(
+            pipelined_harness.clean_result()
+        )
+
+    def test_retry_cannot_fix_persistent_faults(self, pipelined_harness):
+        result, report = run_with_recovery(
+            pipelined_harness,
+            FaultPlan(specs=(EFFECTIVE_STUCK,), design="pipelined"),
+            policy="retry",
+            max_retries=2,
+        )
+        assert report.outcome == "failed" and result is None
+        assert report.attempts == 3  # first run + both retries
+
+    def test_spare_fences_a_dead_pe(self, pipelined_harness):
+        result, report = run_with_recovery(
+            pipelined_harness,
+            FaultPlan(specs=(FaultSpec(mode="dead_pe", pe=1, tick=2),), design="pipelined"),
+            policy="spare",
+        )
+        assert report.outcome == "degraded" and report.recovered
+        assert result is not None
+        (est,) = report.degraded
+        assert est["dead_pe"] == 1 and est["active_pes"] == pipelined_harness.num_pes - 1
+        # Losing a PE costs utilization relative to the healthy array,
+        # and the paper's eq. 9 prediction rides along for comparison.
+        assert 0.0 < est["measured_pu"] < est["clean_pu"]
+        assert est["predicted_pu"] is not None  # eq. 9 yardstick present
+
+    def test_warn_returns_the_flagged_result(self, pipelined_harness):
+        result, report = run_with_recovery(
+            pipelined_harness,
+            FaultPlan(specs=(EFFECTIVE_FLIP,), design="pipelined"),
+            policy="warn",
+        )
+        assert report.outcome == "detected" and not report.recovered
+        assert result is not None  # degraded-and-warned, not withheld
+
+    def test_fail_fast_raises(self, pipelined_harness):
+        with pytest.raises(FaultDetected) as excinfo:
+            run_with_recovery(
+                pipelined_harness,
+                FaultPlan(specs=(EFFECTIVE_FLIP,), design="pipelined"),
+                policy="fail_fast",
+            )
+        assert excinfo.value.detections
+
+    def test_unknown_policy_rejected(self, pipelined_harness):
+        with pytest.raises(FaultPlanError, match="policy"):
+            run_with_recovery(
+                pipelined_harness, FaultPlan(design="pipelined"), policy="pray"
+            )
+
+    def test_detect_and_recover_events_reach_sinks(self, pipelined_harness):
+        events = []
+        run_with_recovery(
+            pipelined_harness,
+            FaultPlan(specs=(EFFECTIVE_FLIP,), design="pipelined"),
+            policy="retry",
+            sinks=[events.append],
+        )
+        kinds = {ev.kind for ev in events}
+        assert {"fault", "detect", "recover"} <= kinds
+
+
+class TestReports:
+    def test_fault_run_report_round_trip(self, pipelined_harness):
+        _, report = run_with_recovery(
+            pipelined_harness,
+            FaultPlan(specs=(EFFECTIVE_FLIP,), design="pipelined"),
+            policy="retry",
+        )
+        again = FaultRunReport.from_dict(report.to_dict())
+        assert again == report
+
+    def test_fault_run_report_rejects_wrong_kind(self):
+        with pytest.raises(FaultPlanError, match="fault_run"):
+            FaultRunReport.from_dict({"kind": "systolic_run"})
+
+    def test_fault_run_report_rejects_malformed(self):
+        with pytest.raises(FaultPlanError, match="malformed"):
+            FaultRunReport.from_dict({"kind": "fault_run", "design": "x"})
+
+    def test_campaign_report_round_trip(self):
+        report = run_campaign("mesh", seed=3, trials=5, n=6, m=4)
+        again = CampaignReport.from_dict(report.to_dict())
+        assert again == report
+
+    def test_campaign_report_rejects_wrong_kind(self):
+        with pytest.raises(FaultPlanError):
+            CampaignReport.from_dict({"kind": "fault_run"})
+
+
+class TestCampaigns:
+    def test_pipelined_acceptance_campaign(self):
+        # The acceptance bar: ≥100 seeded faults, zero silent corruptions
+        # (every effective fault detected), and retry actually recovers.
+        registry = MetricsRegistry()
+        report = run_campaign(
+            "pipelined", seed=0, trials=100, policy="retry", registry=registry
+        )
+        assert report.faults_injected >= 100
+        assert report.effective > 0  # the campaign actually bites
+        assert report.undetected_effective == 0
+        assert report.detection_rate == 1.0
+        assert report.recovered > 0
+        metrics = registry.snapshot()["metrics"]
+        assert "repro_faults_injected_total" in metrics
+        assert "repro_faults_effective_total" in metrics
+        assert "repro_faults_detected_total" in metrics
+        assert "repro_faults_recovered_total" in metrics
+
+    @pytest.mark.parametrize("design", [d for d in DESIGNS if d != "pipelined"])
+    def test_every_design_detects_all_effective_faults(self, design):
+        report = run_campaign(design, seed=1, trials=25, policy="retry")
+        assert report.undetected_effective == 0
+        assert report.detection_rate == 1.0
+
+    def test_campaigns_are_reproducible(self):
+        a = run_campaign("broadcast", seed=7, trials=10)
+        b = run_campaign("broadcast", seed=7, trials=10)
+        assert a == b
+
+    def test_fail_fast_campaign_still_aggregates(self):
+        report = run_campaign("pipelined", seed=2, trials=10, policy="fail_fast")
+        assert report.trials == 10
+        assert report.undetected_effective == 0

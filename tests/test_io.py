@@ -124,3 +124,85 @@ class TestRunPersistence:
         f.write_text(json.dumps({"kind": "zebra"}))
         with pytest.raises(ValueError, match="kind"):
             load_run(f)
+
+
+class TestRunRecordErrors:
+    """load_run_record raises one typed error for every failure shape."""
+
+    def test_missing_file(self, tmp_path):
+        from repro.io import RunRecordError, load_run_record
+
+        with pytest.raises(RunRecordError, match="cannot read"):
+            load_run_record(tmp_path / "nope.json")
+
+    def test_corrupted_json_is_not_a_decode_error(self, tmp_path):
+        from repro.io import RunRecordError, load_run_record
+
+        f = tmp_path / "bad.json"
+        f.write_text('{"kind": "systolic_run", "report": {')
+        with pytest.raises(RunRecordError, match="corrupted JSON"):
+            load_run_record(f)
+
+    def test_non_dict_payload(self, tmp_path):
+        from repro.io import RunRecordError, load_run_record
+
+        f = tmp_path / "list.json"
+        f.write_text("[1, 2, 3]")
+        with pytest.raises(RunRecordError, match="not a systolic-run"):
+            load_run_record(f)
+
+    def test_missing_report_key_is_not_a_key_error(self, tmp_path):
+        from repro.io import RunRecordError, load_run_record
+
+        f = tmp_path / "norep.json"
+        f.write_text(json.dumps({"kind": "systolic_run", "events": []}))
+        with pytest.raises(RunRecordError, match="malformed"):
+            load_run_record(f)
+
+    def test_run_record_error_is_a_value_error(self):
+        from repro.io import RunRecordError
+
+        assert issubclass(RunRecordError, ValueError)
+
+
+class TestFaultPayloadPersistence:
+    def _run(self):
+        return PipelinedMatrixStringArray().run_graph(fig1a_graph(), record_trace=True)
+
+    def test_fault_run_payload_round_trips(self, tmp_path):
+        import numpy as np
+
+        from repro.faults import FaultPlan, FaultRunReport, FaultSpec, make_harness, run_with_recovery
+        from repro.io import load_run_record
+
+        harness = make_harness("pipelined", np.random.default_rng(0xC0FFEE), n=6, m=4)
+        plan = FaultPlan(
+            specs=(FaultSpec(mode="transient_flip", pe=1, reg="ACC", tick=1, delta=-1000.0),),
+            design="pipelined",
+        )
+        _, fault_report = run_with_recovery(harness, plan, policy="retry")
+        res = self._run()
+        f = tmp_path / "run.json"
+        save_run(f, res.report, res.events, faults=fault_report.to_dict())
+        rec = load_run_record(f)
+        assert rec.faults is not None
+        assert FaultRunReport.from_dict(rec.faults) == fault_report
+
+    def test_campaign_payload_round_trips(self, tmp_path):
+        from repro.faults import CampaignReport, run_campaign
+        from repro.io import load_run_record
+
+        campaign = run_campaign("mesh", seed=5, trials=3, n=6, m=4)
+        res = self._run()
+        f = tmp_path / "run.json"
+        save_run(f, res.report, res.events, faults=campaign.to_dict())
+        rec = load_run_record(f)
+        assert CampaignReport.from_dict(rec.faults) == campaign
+
+    def test_healthy_record_has_no_faults(self, tmp_path):
+        from repro.io import load_run_record
+
+        res = self._run()
+        f = tmp_path / "run.json"
+        save_run(f, res.report, res.events)
+        assert load_run_record(f).faults is None

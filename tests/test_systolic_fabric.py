@@ -154,3 +154,49 @@ class TestEventBusReentrancy:
         machine.emit("op", 0, "x")
         assert [e.label for e in collected] == ["x"]
         assert machine.tracing  # external sinks activate the bus
+
+
+class TestEventBusSinkIsolation:
+    """Regression: one throwing sink must not break the run or its peers.
+
+    ``EventBus.emit`` swallows per-sink exceptions, counts them in
+    ``sink_errors``, keeps a bounded sample, and the machine surfaces
+    the count on :attr:`RunReport.sink_errors`.
+    """
+
+    def _event(self, tick: int = 1) -> TraceEvent:
+        return TraceEvent(tick=tick, pe=0, kind="op", label="x")
+
+    def test_throwing_sink_does_not_starve_later_sinks(self):
+        bus = EventBus()
+        seen: list[int] = []
+
+        def broken(event: TraceEvent) -> None:
+            raise RuntimeError("telemetry backend down")
+
+        bus.subscribe(broken)
+        bus.subscribe(lambda event: seen.append(event.tick))
+        bus.emit(self._event(1))
+        bus.emit(self._event(2))
+        assert seen == [1, 2]
+        assert bus.sink_errors == 2
+
+    def test_error_samples_are_bounded(self):
+        bus = EventBus()
+        bus.subscribe(lambda event: (_ for _ in ()).throw(ValueError("boom")))
+        for tick in range(1, 21):
+            bus.emit(self._event(tick))
+        assert bus.sink_errors == 20
+        assert len(bus.sink_error_samples) == EventBus.MAX_ERROR_SAMPLES
+        assert "ValueError" in bus.sink_error_samples[0][1]
+
+    def test_machine_run_survives_and_reports_sink_errors(self):
+        def broken(event: TraceEvent) -> None:
+            raise RuntimeError("down")
+
+        machine = SystolicMachine("test", sinks=[broken])
+        machine.add_pes(1)[0].count_op()
+        machine.emit("op", 0, "x")
+        machine.end_tick()
+        report = machine.finalize(iterations=1, serial_ops=1)
+        assert report.sink_errors >= 1
