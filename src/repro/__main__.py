@@ -22,6 +22,10 @@ Small demonstration front-end over the library:
   [--policy P] [--fault-plan F.json]`` — seeded fault-injection
   campaigns (or one explicit plan) with ABFT detection and recovery;
   exits 1 if any output-corrupting fault went undetected.
+* ``python -m repro lint [paths...] [--json F] [--include-suppressed]
+  [--no-tools]`` — the systolic discipline checker
+  (:mod:`repro.analysis`): static fabric rules over the tree plus
+  gated ruff/mypy sections; exits 1 on findings, the CI lint gate.
 
 ``demo`` and ``bench`` accept ``--backend rtl|fast|auto`` to pick the
 array execution engine (cycle-accurate machine vs. vectorized
@@ -149,6 +153,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     import json
     import pathlib
 
+    from .analysis import HazardError
     from .telemetry import (
         MetricsSink,
         TimelineSink,
@@ -176,8 +181,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         with collect_timings() as timer:
             res = run(
-                record_trace=True, sinks=[timeline, metrics], injector=injector
+                record_trace=True, sinks=[timeline, metrics],
+                injector=injector, strict=args.strict,
             )
+    except HazardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except Exception as exc:
         if injector is None:
             raise
@@ -195,6 +204,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"{report.iterations} iterations, {report.wall_ticks} wall ticks, "
         f"PU {report.processor_utilization:.3f}"
     )
+    if args.strict:
+        print(f"hazard sanitizer: {report.hazards} hazard(s)")
     if injector is not None:
         print(
             f"fault plan {args.fault_plan}: {len(fault_plan)} spec(s), "
@@ -429,6 +440,43 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .analysis import run_lint
+
+    paths = [pathlib.Path(p) for p in args.paths] or None
+    if paths:
+        for p in paths:
+            if not p.exists():
+                raise FileNotFoundError(f"no such file or directory: {p}")
+    report = run_lint(
+        paths,
+        include_suppressed=args.include_suppressed,
+        run_tools=not args.no_tools,
+    )
+    if args.json:
+        pathlib.Path(args.json).write_text(report.to_json() + "\n")
+    for finding in report.findings:
+        print(finding)
+    if args.include_suppressed:
+        for finding in report.suppressed:
+            print(f"{finding}  [suppressed: {finding.justification}]")
+    for name, section in sorted(report.tools.items()):
+        status = section.get("status", "?")
+        detail = ""
+        if status == "failed":
+            detail = f" ({section.get('errors', section.get('findings', '?'))} problem(s))"
+        print(f"tool {name}: {status}{detail}")
+    verdict = "clean" if report.ok else "FAILED"
+    print(
+        f"lint {verdict}: {report.files_checked} file(s), "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed) if args.include_suppressed else '-'} suppressed"
+    )
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -503,6 +551,12 @@ def main(argv: list[str] | None = None) -> int:
         help="inject this fault plan (JSON from FaultPlan.save) during the "
              "traced run; fault events land in the exported trace",
     )
+    p_trace.add_argument(
+        "--strict", action="store_true",
+        help="run under the hazard sanitizer (repro.analysis); exits 1 "
+             "with the hazard report if the design violates the "
+             "register/latch discipline",
+    )
     p_trace.set_defaults(func=_cmd_trace)
 
     p_cmp = sub.add_parser(
@@ -545,6 +599,27 @@ def main(argv: list[str] | None = None) -> int:
         help="write the campaign/run report (with metrics snapshot) here",
     )
     p_inj.set_defaults(func=_cmd_inject)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="systolic discipline checker: static fabric rules + ruff/mypy",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p_lint.add_argument(
+        "--json", default=None, help="write the full LintReport JSON here"
+    )
+    p_lint.add_argument(
+        "--include-suppressed", action="store_true",
+        help="also list findings silenced by `# systolic: allow(...)`",
+    )
+    p_lint.add_argument(
+        "--no-tools", action="store_true",
+        help="skip the ruff/mypy subprocess sections (static rules only)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     try:

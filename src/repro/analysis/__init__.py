@@ -1,0 +1,45 @@
+"""Static and dynamic discipline checking for systolic array designs.
+
+The paper's correctness arguments (Figs. 3-5, eq. 9, Thms. 1-2) assume a
+strict systolic discipline: each PE reads only *latched* neighbour state,
+drives each register at most once per tick, and communicates only over
+the fixed links the design declares.  Nothing in the RTL fabric enforces
+that by construction — idempotent semiring reductions (MIN/+) happily
+mask an accidental same-tick read or a double drive — so this package
+closes the gap three ways:
+
+* :mod:`repro.analysis.hazards` — a **dynamic hazard sanitizer**
+  (:class:`~repro.analysis.hazards.HazardSanitizer`) threaded through
+  :class:`repro.systolic.fabric.SystolicMachine` when ``strict=True``.
+  It observes every register read/stage/force during a run and reports
+  typed :class:`~repro.analysis.hazards.Hazard` records.
+* :mod:`repro.analysis.static_check` — an **AST design checker** that
+  proves neighbour-only topology, single-writer-per-register and
+  latch-before-read ordering for a design's step functions without
+  running them, plus repo-wide fabric-idiom lint rules.
+* :mod:`repro.analysis.lint` — the ``python -m repro lint`` driver:
+  runs the static checker over a source tree, optionally shells out to
+  ``ruff``/``mypy`` when available, and writes a machine-readable JSON
+  report for CI.
+"""
+
+from .hazards import (
+    HAZARD_RULES,
+    Hazard,
+    HazardError,
+    HazardSanitizer,
+)
+from .lint import LintReport, run_lint
+from .static_check import StaticFinding, check_file, check_source
+
+__all__ = [
+    "HAZARD_RULES",
+    "Hazard",
+    "HazardError",
+    "HazardSanitizer",
+    "StaticFinding",
+    "check_file",
+    "check_source",
+    "LintReport",
+    "run_lint",
+]

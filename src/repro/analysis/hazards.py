@@ -1,0 +1,295 @@
+"""Dynamic hazard sanitizer for strict-mode systolic runs.
+
+The fabric's two-phase registers make the classic systolic bug (PE *i+1*
+seeing PE *i*'s same-tick output) structurally impossible, but several
+subtler discipline violations still slip through because the MIN/+
+semiring masks ordering mistakes: two drivers on one net, a PE reading
+back its own staged (not yet latched) value, a PE writing a register it
+does not own, communication outside the declared link topology, and
+clock-bypassing ``force()`` calls.  The :class:`HazardSanitizer` watches
+every register read/stage/force of a run and reports each violation as a
+typed :class:`Hazard`.
+
+Wiring
+------
+``SystolicMachine(..., strict=True)`` constructs a sanitizer and hands
+it to every :class:`~repro.systolic.fabric.Register` as its monitor.
+Design step loops bracket per-PE work with ``machine.enter_pe(i)`` /
+``machine.exit_pe()`` so the sanitizer knows *who* is acting; register
+traffic outside any PE scope is array-level controller work (schedule
+drivers, feedback-bus controllers) and is exempt from the ownership and
+topology rules.  The fault injector's ``before_latch``/``after_latch``
+hooks run inside :meth:`enter_injector`/:meth:`exit_injector`, so
+injected corruption is attributed to injection rather than reported as
+a design hazard.
+
+Every hazard is also published as a ``hazard`` event on the machine's
+trace bus, so :class:`repro.telemetry.metrics.MetricsSink` counts them
+under ``repro_trace_events_total{kind="hazard"}`` for free.
+
+In the default ``mode="raise"`` the run itself always completes — the
+sanitizer collects silently and :meth:`HazardSanitizer.finish` (called
+from ``SystolicMachine.finalize``) raises :class:`HazardError` carrying
+the full report, so one strict run surfaces *every* hazard at once.
+``mode="record"`` never raises; the count lands in
+:attr:`repro.systolic.fabric.RunReport.hazards`.
+"""
+
+from __future__ import annotations
+
+# systolic: fabric-internal — the sanitizer is the one component that
+# must inspect registers' staged state without tripping its own rules.
+
+import dataclasses
+from typing import TYPE_CHECKING, Any
+
+from ..systolic.fabric import SystolicError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..systolic.fabric import Register, SystolicMachine
+
+__all__ = ["HAZARD_RULES", "Hazard", "HazardError", "HazardSanitizer"]
+
+#: Every rule the dynamic sanitizer can report.  The static checker
+#: (:mod:`repro.analysis.static_check`) proves the first four without
+#: running the design; ``forced-write`` and ``silent-op`` have static
+#: counterparts of the same name.
+HAZARD_RULES = (
+    "write-write",
+    "read-after-staged-write",
+    "cross-pe-write",
+    "non-neighbor-link",
+    "forced-write",
+    "silent-op",
+)
+
+#: Acting-scope marker for array-level controller code (``scope=None``).
+#: Kept distinct from any PE index so "controller staged, controller
+#: read back" is still a same-scope read-after-staged-write.
+_ARRAY_SCOPE = "array"
+
+
+@dataclasses.dataclass(frozen=True)
+class Hazard:
+    """One recorded discipline violation.
+
+    Attributes
+    ----------
+    rule:
+        One of :data:`HAZARD_RULES`.
+    tick:
+        Machine tick (1-based) the violation occurred in.
+    pe:
+        Acting PE index at the time, or ``-1`` for array-scope code.
+    owner:
+        Owning PE of the register involved, or ``-1`` for free-standing
+        registers (and for ``silent-op``, where ``pe`` is the culprit).
+    reg:
+        Register name (``"P3.ACC"`` style), or ``""`` when the hazard is
+        not about a single register.
+    detail:
+        Human-readable one-liner with the specifics.
+    """
+
+    rule: str
+    tick: int
+    pe: int
+    owner: int
+    reg: str
+    detail: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class HazardError(SystolicError):
+    """A strict-mode run finished with a non-empty hazard report.
+
+    Raised by :meth:`HazardSanitizer.finish` (``mode="raise"``) *after*
+    the run completed, carrying every collected :class:`Hazard` in
+    :attr:`report`.
+    """
+
+    def __init__(self, design: str, report: tuple[Hazard, ...]):
+        self.design = design
+        self.report = report
+        counts: dict[str, int] = {}
+        for h in report:
+            counts[h.rule] = counts.get(h.rule, 0) + 1
+        summary = ", ".join(f"{rule}×{n}" for rule, n in sorted(counts.items()))
+        lines = [
+            f"strict run of {design!r} recorded {len(report)} hazard(s): {summary}"
+        ]
+        for h in report[:8]:
+            lines.append(f"  tick {h.tick} pe {h.pe}: [{h.rule}] {h.detail}")
+        if len(report) > 8:
+            lines.append(f"  … and {len(report) - 8} more")
+        super().__init__("\n".join(lines))
+
+
+class HazardSanitizer:
+    """Register monitor implementing the dynamic discipline rules.
+
+    One sanitizer instance serves one machine run.  The fabric calls the
+    ``on_*`` hooks; designs only ever touch :attr:`scope` indirectly via
+    ``machine.enter_pe``/``machine.exit_pe``.
+
+    Parameters
+    ----------
+    mode:
+        ``"raise"`` (default) raises :class:`HazardError` at finalize
+        when the report is non-empty; ``"record"`` only collects.
+    """
+
+    def __init__(self, mode: str = "raise"):
+        if mode not in ("raise", "record"):
+            raise SystolicError(f"unknown sanitizer mode {mode!r}")
+        self.mode = mode
+        #: Acting PE index, or ``None`` for array-scope controller code.
+        self.scope: int | None = None
+        self.report: list[Hazard] = []
+        self._machine: SystolicMachine | None = None
+        self._injector_depth = 0
+        self._emitted: set[int] = set()
+
+    # -- machine wiring --------------------------------------------------
+    def attach(self, machine: SystolicMachine) -> None:
+        """Bind to ``machine`` (called from ``SystolicMachine.__init__``)."""
+        if self._machine is not None and self._machine is not machine:
+            raise SystolicError(
+                "a HazardSanitizer serves one machine; build a fresh one"
+            )
+        self._machine = machine
+
+    def enter_injector(self) -> None:
+        """Fault-injector hook entry: exempt traffic until exit."""
+        self._injector_depth += 1
+
+    def exit_injector(self) -> None:
+        self._injector_depth -= 1
+
+    @property
+    def in_injector(self) -> bool:
+        return self._injector_depth > 0
+
+    # -- recording -------------------------------------------------------
+    def _record(self, rule: str, reg: Register | None, detail: str) -> None:
+        machine = self._machine
+        tick = machine.tick if machine is not None else 0
+        pe = -1 if self.scope is None else self.scope
+        owner = -1
+        name = ""
+        if reg is not None:
+            owner = -1 if reg.owner is None else reg.owner
+            name = reg.name
+        self.report.append(
+            Hazard(rule=rule, tick=tick, pe=pe, owner=owner, reg=name,
+                   detail=detail)
+        )
+        if machine is not None:
+            machine.emit("hazard", pe, f"{rule}:{name or detail}")
+
+    def _acting(self) -> Any:
+        return _ARRAY_SCOPE if self.scope is None else self.scope
+
+    # -- register hooks --------------------------------------------------
+    def on_read(self, reg: Register) -> None:
+        if self._injector_depth:
+            return
+        if reg.pending and reg._staged_scope == self._acting():
+            self._record(
+                "read-after-staged-write", reg,
+                f"{reg.name} read while its own staged write is pending; "
+                "the read returns pre-tick state (stale)",
+            )
+        scope = self.scope
+        if (
+            scope is not None
+            and reg.owner is not None
+            and reg.owner != scope
+            and self._machine is not None
+            and not self._machine.neighbors(scope, reg.owner)
+        ):
+            self._record(
+                "non-neighbor-link", reg,
+                f"PE {scope} read {reg.name} owned by PE {reg.owner}, "
+                f"not adjacent under topology {self._machine.topology!r}",
+            )
+
+    def on_set(self, reg: Register, *, double: bool) -> None:
+        if self._injector_depth:
+            reg._staged_scope = self._acting()
+            return
+        if double:
+            self._record(
+                "write-write", reg,
+                f"{reg.name} driven twice in one tick "
+                f"(earlier drive by scope {reg._staged_scope!r}); "
+                "last write wins",
+            )
+        scope = self.scope
+        if scope is not None and reg.owner is not None and reg.owner != scope:
+            self._record(
+                "cross-pe-write", reg,
+                f"PE {scope} wrote {reg.name} owned by PE {reg.owner}; "
+                "systolic PEs drive only their own registers",
+            )
+        reg._staged_scope = self._acting()
+
+    def on_force(self, reg: Register) -> None:
+        if self._injector_depth:
+            return
+        self._record(
+            "forced-write", reg,
+            f"{reg.name} forced outside the fault injector's latch hooks, "
+            "bypassing the clock",
+        )
+
+    def on_cancel(self, reg: Register) -> None:
+        if self._injector_depth:
+            return
+        self._record(
+            "forced-write", reg,
+            f"staged write to {reg.name} cancelled outside the fault "
+            "injector's latch hooks",
+        )
+
+    # -- machine hooks ---------------------------------------------------
+    def on_emit(self, pe: int) -> None:
+        """A cell event (op/shift/broadcast) was emitted for PE ``pe``."""
+        self._emitted.add(pe)
+
+    def on_end_tick(self, machine: SystolicMachine, *, advance: bool) -> None:
+        """Clock edge: run the per-tick ``silent-op`` check, reset state.
+
+        Only counted ticks (``advance=True``) with an active trace bus
+        are checked: the rule is "no un-emitted state changes *under
+        tracing*", and latch-only control edges (Fig. 3's MOVE) are not
+        iteration slots.
+        """
+        if advance and machine.bus.active:
+            for pe in machine.pes:
+                if pe._busy_this_tick and pe.index not in self._emitted:
+                    saved, self.scope = self.scope, pe.index
+                    self._record(
+                        "silent-op", None,
+                        f"PE {pe.index} counted work at tick {machine.tick} "
+                        "but emitted no op/shift/broadcast event while "
+                        "tracing is on",
+                    )
+                    self.scope = saved
+        if advance:
+            self._emitted.clear()
+
+    def finish(self, machine: SystolicMachine) -> None:
+        """End of run: raise in ``"raise"`` mode if hazards were recorded."""
+        if self.report and self.mode == "raise":
+            raise HazardError(machine.design, tuple(self.report))
+
+    # -- introspection ---------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Hazard counts by rule (only rules that occurred)."""
+        out: dict[str, int] = {}
+        for h in self.report:
+            out[h.rule] = out.get(h.rule, 0) + 1
+        return out

@@ -1,0 +1,227 @@
+"""The ``python -m repro lint`` driver: static rules + external tools.
+
+Runs the fabric-discipline static checker (:mod:`.static_check`) over a
+source tree, optionally shells out to ``ruff`` and ``mypy`` when they
+are installed, and assembles everything into one machine-readable
+:class:`LintReport` for CI.
+
+External tools are *gated*, not required: the checker's own rules are
+pure stdlib ``ast``, so the lint pass degrades gracefully on machines
+without ruff/mypy (their sections report ``status: "unavailable"``,
+which is not a failure — CI installs them and gets ``"ok"``/
+``"failed"`` for real).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any
+
+from .static_check import StaticFinding, check_file, extract_link_graph
+
+__all__ = ["LintReport", "run_lint", "default_lint_paths"]
+
+#: Subpackages mypy checks strictly (relative to the ``repro`` package).
+MYPY_STRICT_TARGETS = ("systolic", "core")
+
+#: Wall-clock ceiling for one external tool invocation.
+TOOL_TIMEOUT_S = 300
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Everything one lint pass produced.
+
+    ``ok`` is the CI gate: true iff there are no active (unsuppressed)
+    findings and no external tool *failed* (an unavailable tool does not
+    fail the gate — it simply did not run).
+    """
+
+    files_checked: int
+    findings: list[StaticFinding]
+    suppressed: list[StaticFinding]
+    link_graph: dict[str, list[dict[str, Any]]]
+    tools: dict[str, dict[str, Any]]
+
+    @property
+    def ok(self) -> bool:
+        if self.findings:
+            return False
+        return all(t.get("status") != "failed" for t in self.tools.values())
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "lint_report",
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "link_graph": self.link_graph,
+            "tools": self.tools,
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("indent", 2)
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.as_dict(), **kwargs)
+
+
+def default_lint_paths() -> list[Path]:
+    """The ``repro`` package directory (what a bare ``repro lint`` checks)."""
+    return [Path(__file__).resolve().parent.parent]
+
+
+def _iter_py_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # De-duplicate while keeping order (a file given twice checks once).
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for f in files:
+        r = f.resolve()
+        if r not in seen:
+            seen.add(r)
+            unique.append(f)
+    return unique
+
+
+def _run_tool(argv: list[str]) -> tuple[int | None, str]:
+    """Run one external tool; returns (exit code or None on crash, output)."""
+    try:
+        proc = subprocess.run(
+            argv,
+            capture_output=True,
+            text=True,
+            timeout=TOOL_TIMEOUT_S,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+    out = (proc.stdout or "") + (proc.stderr or "")
+    return proc.returncode, out
+
+
+def _repo_root() -> Path | None:
+    """Nearest ancestor of the package holding mypy.ini/ruff.toml, if any."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "mypy.ini").exists() or (parent / "ruff.toml").exists():
+            return parent
+    return None
+
+
+def _ruff_section(paths: list[Path]) -> dict[str, Any]:
+    exe = shutil.which("ruff")
+    if exe is None:
+        return {"status": "unavailable", "detail": "ruff not on PATH"}
+    argv = [exe, "check", "--output-format", "json"]
+    root = _repo_root()
+    if root is not None and (root / "ruff.toml").exists():
+        argv += ["--config", str(root / "ruff.toml")]
+    argv += [str(p) for p in paths]
+    code, out = _run_tool(argv)
+    if code is None:
+        return {"status": "failed", "detail": out}
+    try:
+        diagnostics = json.loads(out) if out.strip() else []
+        count = len(diagnostics)
+        sample = [
+            f"{d.get('filename')}:{d.get('location', {}).get('row')}: "
+            f"{d.get('code')} {d.get('message')}"
+            for d in diagnostics[:10]
+        ]
+    except (json.JSONDecodeError, AttributeError, TypeError):
+        count = -1
+        sample = out.strip().splitlines()[:10]
+    status = "ok" if code == 0 else "failed"
+    return {"status": status, "exit_code": code, "violations": count,
+            "sample": sample}
+
+
+def _mypy_section() -> dict[str, Any]:
+    exe = shutil.which("mypy")
+    if exe is None:
+        return {"status": "unavailable", "detail": "mypy not on PATH"}
+    pkg = Path(__file__).resolve().parent.parent
+    targets = [pkg / t for t in MYPY_STRICT_TARGETS if (pkg / t).is_dir()]
+    if not targets:
+        return {"status": "unavailable", "detail": "no strict targets found"}
+    argv = [exe]
+    root = _repo_root()
+    if root is not None and (root / "mypy.ini").exists():
+        argv += ["--config-file", str(root / "mypy.ini")]
+    argv += [str(t) for t in targets]
+    code, out = _run_tool(argv)
+    if code is None:
+        return {"status": "failed", "detail": out}
+    errors = [ln for ln in out.splitlines() if ": error:" in ln]
+    status = "ok" if code == 0 else "failed"
+    return {"status": status, "exit_code": code, "errors": len(errors),
+            "sample": errors[:10]}
+
+
+def run_lint(
+    paths: list[Path] | None = None,
+    *,
+    include_suppressed: bool = False,
+    run_tools: bool = True,
+) -> LintReport:
+    """Lint ``paths`` (files or directories; default: the repro package).
+
+    ``include_suppressed=True`` lists suppressed findings in the report
+    (they never affect :attr:`LintReport.ok`); ``run_tools=False`` skips
+    the ruff/mypy subprocesses entirely (``status: "skipped"``).
+    """
+    resolved = paths if paths else default_lint_paths()
+    files = _iter_py_files(resolved)
+    findings: list[StaticFinding] = []
+    suppressed: list[StaticFinding] = []
+    link_graph: dict[str, list[dict[str, Any]]] = {}
+    for f in files:
+        try:
+            source = f.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                StaticFinding(
+                    rule="register-internals", path=str(f), line=0, col=0,
+                    message=f"unreadable: {exc}",
+                )
+            )
+            continue
+        for finding in check_file(f, include_suppressed=True):
+            (suppressed if finding.suppressed else findings).append(finding)
+        graph = extract_link_graph(source, str(f))
+        if graph:
+            link_graph[str(f)] = graph
+    if not include_suppressed:
+        suppressed = []
+    if run_tools:
+        tools = {"ruff": _ruff_section(resolved), "mypy": _mypy_section()}
+    else:
+        tools = {
+            "ruff": {"status": "skipped"},
+            "mypy": {"status": "skipped"},
+        }
+    return LintReport(
+        files_checked=len(files),
+        findings=findings,
+        suppressed=suppressed,
+        link_graph=link_graph,
+        tools=tools,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin
+    """Standalone entry (the CLI subcommand wraps :func:`run_lint`)."""
+    from ..__main__ import main as cli_main
+
+    return cli_main(["lint"] + (argv if argv is not None else sys.argv[1:]))

@@ -22,7 +22,7 @@ import dataclasses
 
 import numpy as np
 
-from ..systolic.fabric import ArrayStats, ProcessingElement, RunReport, finalize_report
+from ..systolic.fabric import RunReport, SystolicMachine
 from .graph import AndOrGraph, NodeKind
 
 __all__ = ["AndOrArrayRun", "simulate_andor_array"]
@@ -52,10 +52,14 @@ def simulate_andor_array(
     sr = graph.semiring
     levels = graph.levels()
     n_levels = int(levels.max()) + 1 if len(graph.nodes) else 0
-    pes = [ProcessingElement(n.id) for n in graph.nodes]
+    # The AND/OR array's links follow the graph arcs, not a chain: every
+    # PE reads its children's latches.  All register traffic here runs
+    # at array (controller) scope, so strict mode checks only the clock
+    # discipline, which the machine now owns.
+    machine = SystolicMachine("andor-planar-array", topology="complete")
+    pes = machine.add_pes(len(graph.nodes))
     for pe in pes:
         pe.reg("V", None)  # the node's output latch
-    stats = ArrayStats()
     ticks_per_level: list[int] = []
 
     for lv in range(n_levels):
@@ -88,28 +92,27 @@ def simulate_andor_array(
                 pe = pes[node.id]
                 take = pending[node.id][:compare_capacity]
                 pending[node.id] = pending[node.id][compare_capacity:]
-                for alt in take:
-                    acc[node.id] = sr.scalar_add(acc[node.id], alt)
-                    pe.count_op()
+                if take:
+                    acc_id = acc[node.id]
+                    for alt in take:
+                        acc_id = sr.scalar_add(acc_id, alt)
+                        pe.count_op()
+                    acc[node.id] = acc_id
+                    machine.emit("op", node.id, f"L{lv}:or-fold")
                 if node.kind is not NodeKind.OR and ticks == 1:
                     pe.count_op(max(len(node.children), 1))
-            for pe in pes:
-                pe.end_tick()
-            stats.record_tick()
+                    machine.emit("op", node.id, f"L{lv}:{node.kind.name.lower()}")
+            machine.end_tick()
             if all(not pending[n.id] for n in members):
                 break
         for node in members:
             pes[node.id]["V"].set(acc[node.id])
-        for pe in pes:
-            pe.end_tick()
+        machine.latch()  # level boundary: publish outputs, not a work slot
         ticks_per_level.append(ticks)
 
     values = np.asarray([pes[n.id]["V"].value for n in graph.nodes], dtype=sr.dtype)
     serial_ops = sum(max(len(n.children), 1) for n in graph.nodes)
-    report = finalize_report(
-        "andor-planar-array",
-        pes,
-        stats,
+    report = machine.finalize(
         iterations=int(sum(ticks_per_level)),
         serial_ops=serial_ops,
     )

@@ -76,7 +76,7 @@ class BroadcastMatrixStringArray:
 
     design_name = "fig4-broadcast"
 
-    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl"):
+    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl") -> None:
         self.sr = semiring
         self.backend = normalize_backend(backend)
 
@@ -90,6 +90,7 @@ class BroadcastMatrixStringArray:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool | None = None,
+        strict: bool = False,
     ) -> BroadcastArrayResult:
         """Evaluate the matrix string right-to-left on the array.
 
@@ -106,12 +107,14 @@ class BroadcastMatrixStringArray:
         ``backend`` selects RTL simulation, the vectorized fast path, or
         ``"auto"`` cross-validation; ``record_trace=True`` always runs
         RTL (tracing is cycle-level), as does subscribing telemetry
-        ``sinks`` to the machine's event bus.
+        ``sinks`` to the machine's event bus.  ``strict`` enables the
+        hazard sanitizer (:mod:`repro.analysis.hazards`), which is also
+        cycle-level and forces RTL.
         """
         sr = self.sr
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks or injector is not None:
+        if record_trace or sinks or injector is not None or strict:
             resolved = "rtl"
         if observe is None:
             observe = injector is not None
@@ -131,6 +134,7 @@ class BroadcastMatrixStringArray:
                 sinks=sinks,
                 injector=injector,
                 observe=bool(observe),
+                strict=strict,
             ),
             fast=lambda: self._run_fast(mats, vec, m, track_decisions=track_decisions),
             validate=self._validate,
@@ -169,11 +173,14 @@ class BroadcastMatrixStringArray:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool = False,
+        strict: bool = False,
     ) -> BroadcastArrayResult:
         sr = self.sr
+        # The broadcast bus is array-owned (all scoped traffic is each
+        # PE's own registers), so the link topology stays the line.
         machine = SystolicMachine(
             self.design_name, record_trace=record_trace, sinks=sinks,
-            injector=injector,
+            injector=injector, strict=strict,
         )
         pes = machine.add_pes(m)
         for pe in pes:
@@ -198,9 +205,12 @@ class BroadcastMatrixStringArray:
             machine.begin_phase(f"p{phase}")
             x_snap = sr.asarray(bus_source) if observe else None
             if is_row_vector:
+                # Only P1 participates, but the latch is still the
+                # machine's: a per-PE end_tick() would desynchronize the
+                # array clock (and is a latch-bypass lint violation).
                 pes[0]["ACC"].set(sr.zero)
                 pes[0]["ARG"].set(-1)
-                pes[0].end_tick()
+                machine.latch()
             else:
                 for pe in pes:
                     pe["ACC"].set(sr.zero)
@@ -212,13 +222,17 @@ class BroadcastMatrixStringArray:
                 if is_row_vector:
                     # Scalar product forms in P1 alone.
                     pe = pes[0]
+                    machine.enter_pe(0)
                     self._accumulate(pe, float(mat[0, j]), x_j, j, track_decisions)
+                    machine.exit_pe()
                     pe.count_op()
                     machine.emit("op", 0, f"p{phase}:x{j + 1}")
                     machine.stats.input_words += 1
                 else:
                     for i, pe in enumerate(pes):
+                        machine.enter_pe(i)
                         self._accumulate(pe, float(mat[i, j]), x_j, j, track_decisions)
+                        machine.exit_pe()
                         pe.count_op()
                         machine.emit("op", i, f"p{phase}:x{j + 1}")
                     machine.stats.input_words += m  # one matrix element per PE per tick
@@ -344,13 +358,14 @@ class BroadcastMatrixStringArray:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool | None = None,
+        strict: bool = False,
     ) -> BroadcastArrayResult:
         """Evaluate a single-sink multistage graph (backward formulation)."""
         if graph.semiring.name != self.sr.name:
             raise SystolicError("graph and array use different semirings")
         return self.run(
             graph.as_matrices(), backend=backend, sinks=sinks,
-            injector=injector, observe=observe,
+            injector=injector, observe=observe, strict=strict,
         )
 
     def run_graph_with_path(
@@ -361,7 +376,8 @@ class BroadcastMatrixStringArray:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool | None = None,
-    ):
+        strict: bool = False,
+    ) -> tuple[StagePath, BroadcastArrayResult]:
         """Solve a single-source/sink graph and trace the optimal path.
 
         Phase ``p`` evaluates layer ``L = num_layers − 2 − p``, so its
@@ -377,7 +393,7 @@ class BroadcastMatrixStringArray:
             raise SystolicError("path traceback needs a single-source/sink graph")
         res = self.run(
             graph.as_matrices(), track_decisions=True, backend=backend, sinks=sinks,
-            injector=injector, observe=observe,
+            injector=injector, observe=observe, strict=strict,
         )
         assert res.decisions is not None
         n_layers = graph.num_layers

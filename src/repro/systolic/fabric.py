@@ -43,6 +43,10 @@ two backends on small instances and trusts the fast one above
 
 from __future__ import annotations
 
+# systolic: fabric-internal — this module *is* the register/latch
+# implementation, so the repo-wide lint rules about touching register
+# internals and bypassing end_tick do not apply here.
+
 import dataclasses
 import heapq
 from typing import Any, Callable, Iterable
@@ -90,19 +94,37 @@ class Register:
     clock edge) and stage updates with :meth:`set`.  The array calls
     :meth:`latch` on every register at the tick boundary.  Reading always
     returns pre-tick state; staged writes are invisible until latched.
+
+    ``owner`` is the index of the PE the register belongs to (``None``
+    for free-standing registers); ``monitor`` is an optional hazard
+    monitor (:class:`repro.analysis.hazards.HazardSanitizer`) notified
+    on every read/stage/force.  Both are wired by the machine when
+    strict mode is on and cost a single ``is not None`` test otherwise.
     """
 
-    __slots__ = ("name", "_current", "_next", "_dirty")
+    __slots__ = ("name", "owner", "_current", "_next", "_dirty", "_monitor",
+                 "_staged_scope")
 
-    def __init__(self, name: str, initial: Any = None):
+    def __init__(
+        self,
+        name: str,
+        initial: Any = None,
+        owner: int | None = None,
+        monitor: Any = None,
+    ) -> None:
         self.name = name
+        self.owner = owner
         self._current: Any = initial
         self._next: Any = None
         self._dirty = False
+        self._monitor = monitor
+        self._staged_scope: Any = None
 
     @property
     def value(self) -> Any:
         """State as of the last clock edge."""
+        if self._monitor is not None:
+            self._monitor.on_read(self)
         return self._current
 
     @property
@@ -117,9 +139,12 @@ class Register:
         delivery or a dead link is exactly "the staged write never
         arrives".  Normal array code never cancels.
         """
+        if self._monitor is not None:
+            self._monitor.on_cancel(self)
         staged = self._next
         self._next = None
         self._dirty = False
+        self._staged_scope = None
         return staged
 
     def force(self, value: Any) -> None:
@@ -127,8 +152,12 @@ class Register:
 
         Exists for the fault layer: a register upset corrupts state
         between clock edges, which no two-phase ``set``/``latch``
-        sequence can express.  Normal array code never forces.
+        sequence can express.  Normal array code never forces; under a
+        strict-mode monitor a force outside the fault injector's latch
+        hooks is a ``forced-write`` hazard.
         """
+        if self._monitor is not None:
+            self._monitor.on_force(self)
         self._current = value
 
     def set(self, value: Any) -> None:
@@ -136,8 +165,14 @@ class Register:
 
         Two staged writes to one register in one tick indicate a wiring
         bug (two drivers on one net) and raise :class:`SystolicError`.
+        Under a strict-mode monitor the double drive is recorded as a
+        ``write-write`` hazard instead and the run continues with the
+        last write, so one run surfaces every hazard at once.
         """
-        if self._dirty:
+        mon = self._monitor
+        if mon is not None:
+            mon.on_set(self, double=self._dirty)
+        elif self._dirty:
             raise SystolicError(f"register {self.name!r} driven twice in one tick")
         self._next = value
         self._dirty = True
@@ -148,6 +183,7 @@ class Register:
             self._current = self._next
             self._next = None
             self._dirty = False
+            self._staged_scope = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Register({self.name}={self._current!r})"
@@ -163,17 +199,21 @@ class ProcessingElement:
     one shift-multiply-accumulate slot.
     """
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, monitor: Any = None) -> None:
         self.index = index
         self.registers: dict[str, Register] = {}
         self.busy_ticks = 0
         self.op_count = 0
         self._busy_this_tick = False
+        self._monitor = monitor
 
     def reg(self, name: str, initial: Any = None) -> Register:
         """Create (or return) the named register."""
         if name not in self.registers:
-            self.registers[name] = Register(f"P{self.index}.{name}", initial)
+            self.registers[name] = Register(
+                f"P{self.index}.{name}", initial, owner=self.index,
+                monitor=self._monitor,
+            )
         return self.registers[name]
 
     def __getitem__(self, name: str) -> Register:
@@ -202,8 +242,13 @@ class ProcessingElement:
 #: ``io`` a port transfer, ``phase`` a control-phase change.  The last
 #: three belong to the fault layer (:mod:`repro.faults`): ``fault`` marks
 #: an injected hardware fault taking effect, ``detect`` a detector
-#: flagging a suspect run, ``recover`` a recovery action.
-TRACE_KINDS = ("op", "shift", "broadcast", "io", "phase", "fault", "detect", "recover")
+#: flagging a suspect run, ``recover`` a recovery action.  ``hazard``
+#: belongs to the analysis layer (:mod:`repro.analysis`): a strict-mode
+#: sanitizer caught a systolic-discipline violation.
+TRACE_KINDS = (
+    "op", "shift", "broadcast", "io", "phase", "fault", "detect", "recover",
+    "hazard",
+)
 
 #: Kinds that occupy a PE for a tick, i.e. that belong in a space-time
 #: diagram cell.  ``io`` and ``phase`` are array-level bookkeeping.
@@ -367,6 +412,12 @@ class RunReport:
         Exceptions raised by subscribed trace sinks during the run
         (isolated per sink, never aborting the simulation; see
         :meth:`EventBus.emit`).  0 for healthy telemetry.
+    hazards:
+        Systolic-discipline violations the strict-mode hazard sanitizer
+        recorded during the run (see :mod:`repro.analysis.hazards`).
+        Always 0 without ``strict=True``; a strict run that completes
+        with ``hazards > 0`` only exists in the sanitizer's ``"record"``
+        mode (the default ``"raise"`` mode aborts at finalize).
     """
 
     design: str
@@ -381,6 +432,7 @@ class RunReport:
     broadcast_words: int
     backend: str = "rtl"
     sink_errors: int = 0
+    hazards: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -428,6 +480,7 @@ def finalize_report(
     serial_ops: int,
     backend: str = "rtl",
     sink_errors: int = 0,
+    hazards: int = 0,
 ) -> RunReport:
     """Assemble the immutable :class:`RunReport` from live simulation state."""
     pes = list(pes)
@@ -444,6 +497,7 @@ def finalize_report(
         broadcast_words=stats.broadcast_words,
         backend=backend,
         sink_errors=sink_errors,
+        hazards=hazards,
     )
 
 
@@ -489,11 +543,31 @@ class SystolicMachine:
         hop_delay: int = 1,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: Any = None,
-    ):
+        strict: bool = False,
+        sanitizer: Any = None,
+        topology: Any = "line",
+    ) -> None:
         if hop_delay < 0:
             raise SystolicError("hop_delay must be nonnegative")
         self.design = design
         self.hop_delay = hop_delay
+        #: Interconnect the design claims: ``"line"`` (nearest-neighbour
+        #: chain, the default), ``("grid", rows, cols)`` (4-neighbour mesh
+        #: over row-major flattened indices), or ``"complete"`` (every PE
+        #: reaches every PE — broadcast-bus designs).  Only consulted by
+        #: the strict-mode sanitizer's ``non-neighbor-link`` rule.
+        self.topology = topology
+        #: Hazard sanitizer (:class:`repro.analysis.hazards.HazardSanitizer`)
+        #: or ``None``.  ``strict=True`` constructs the default sanitizer;
+        #: passing ``sanitizer=`` explicitly implies strict mode.  The
+        #: import is deferred: the analysis package consumes this module.
+        if sanitizer is None and strict:
+            from ..analysis.hazards import HazardSanitizer  # deferred
+
+            sanitizer = HazardSanitizer()
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.attach(self)
         #: Optional fault injector (:class:`repro.faults.FaultInjector`):
         #: any object with ``before_latch(machine)`` / ``after_latch(machine)``
         #: hooks, called around every clock edge.  ``None`` (the default)
@@ -518,8 +592,51 @@ class SystolicMachine:
     def add_pes(self, n: int) -> list[ProcessingElement]:
         """Append ``n`` fresh PEs; returns the full PE list."""
         base = len(self.pes)
-        self.pes.extend(ProcessingElement(base + i) for i in range(n))
+        self.pes.extend(
+            ProcessingElement(base + i, monitor=self.sanitizer) for i in range(n)
+        )
         return self.pes
+
+    # -- strict-mode acting scope ---------------------------------------
+    def enter_pe(self, index: int) -> None:
+        """Declare that subsequent register traffic acts *as* PE ``index``.
+
+        The strict-mode sanitizer attributes reads and writes to the
+        acting PE to enforce the ownership rules (``cross-pe-write``,
+        ``non-neighbor-link``, same-scope ``read-after-staged-write``).
+        Plain methods, not a context manager: the scope switch sits on
+        the per-PE hot path and must stay two attribute stores when
+        strict mode is off.
+        """
+        san = self.sanitizer
+        if san is not None:
+            san.scope = index
+
+    def exit_pe(self) -> None:
+        """Return to array-scope (controller) register traffic."""
+        san = self.sanitizer
+        if san is not None:
+            san.scope = None
+
+    def neighbors(self, a: int, b: int) -> bool:
+        """True when PEs ``a`` and ``b`` are linked under :attr:`topology`.
+
+        A PE is always its own neighbour.  Unknown topology values fail
+        loudly rather than silently allowing everything.
+        """
+        if a == b:
+            return True
+        topo = self.topology
+        if topo == "line":
+            return abs(a - b) == 1
+        if topo == "complete":
+            return True
+        if isinstance(topo, tuple) and len(topo) == 3 and topo[0] == "grid":
+            _kind, _rows, cols = topo
+            ra, ca = divmod(a, cols)
+            rb, cb = divmod(b, cols)
+            return abs(ra - rb) + abs(ca - cb) == 1
+        raise SystolicError(f"unknown topology {topo!r}")
 
     # -- event emission -------------------------------------------------
     @property
@@ -531,6 +648,8 @@ class SystolicMachine:
         self, kind: str, pe: int, label: str, *, tick: int | None = None
     ) -> None:
         """Publish one typed event (no-op without subscribed sinks)."""
+        if self.sanitizer is not None and kind in CELL_KINDS and pe >= 0:
+            self.sanitizer.on_emit(pe)
         if self.bus.active:
             if kind not in TRACE_KINDS:
                 raise SystolicError(f"unknown trace-event kind {kind!r}")
@@ -603,12 +722,23 @@ class SystolicMachine:
         state (transient flips, stuck-at registers).
         """
         injector = self.injector
+        san = self.sanitizer
+        if san is not None:
+            san.on_end_tick(self, advance=advance)
         if injector is not None:
+            if san is not None:
+                san.enter_injector()
             injector.before_latch(self)
+            if san is not None:
+                san.exit_injector()
         for pe in self.pes:
             pe.end_tick()
         if injector is not None:
+            if san is not None:
+                san.enter_injector()
             injector.after_latch(self)
+            if san is not None:
+                san.exit_injector()
         if advance:
             self.stats.record_tick()
             self.tick += 1
@@ -662,8 +792,17 @@ class SystolicMachine:
         return self.trace.legacy() if self.trace is not None else ()
 
     def finalize(self, *, iterations: int, serial_ops: int) -> RunReport:
-        """Assemble the uniform :class:`RunReport` for this run."""
-        return finalize_report(
+        """Assemble the uniform :class:`RunReport` for this run.
+
+        With a strict-mode sanitizer attached this is also the hazard
+        checkpoint: every hazard collected over the whole run is counted
+        into :attr:`RunReport.hazards`, and in the sanitizer's default
+        ``"raise"`` mode a non-empty report aborts here with
+        :class:`repro.analysis.hazards.HazardError` — *after* the run,
+        so a single strict run surfaces all hazards at once.
+        """
+        san = self.sanitizer
+        report = finalize_report(
             self.design,
             self.pes,
             self.stats,
@@ -671,7 +810,11 @@ class SystolicMachine:
             serial_ops=serial_ops,
             backend="rtl",
             sink_errors=self.bus.sink_errors,
+            hazards=0 if san is None else len(san.report),
         )
+        if san is not None:
+            san.finish(self)
+        return report
 
 
 # ----------------------------------------------------------------------
@@ -698,7 +841,7 @@ def run_with_backend(
     validate: Callable[[Any, Any], None],
     validate_limit: int = AUTO_VALIDATE_LIMIT,
     design: str = "array",
-):
+) -> Any:
     """Shared ``rtl | fast | auto`` dispatch used by every array design.
 
     ``work`` is the instance's serial-op count.  ``auto`` always returns

@@ -107,7 +107,7 @@ class FeedbackSystolicArray:
 
     design_name = "fig5-feedback"
 
-    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl"):
+    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl") -> None:
         if semiring.add_argreduce is None:
             raise SystolicError("feedback array needs an arg-reduction for traceback")
         self.sr = semiring
@@ -122,6 +122,7 @@ class FeedbackSystolicArray:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool | None = None,
+        strict: bool = False,
     ) -> FeedbackArrayResult:
         """Run the array on a node-value problem with uniform stage width.
 
@@ -136,7 +137,9 @@ class FeedbackSystolicArray:
         ``backend`` selects RTL simulation, the vectorized fast path, or
         ``"auto"`` cross-validation; ``record_trace=True`` always runs
         RTL (tracing is cycle-level), as does subscribing telemetry
-        ``sinks`` to the machine's event bus.
+        ``sinks`` to the machine's event bus.  ``strict`` enables the
+        hazard sanitizer (:mod:`repro.analysis.hazards`), which is also
+        cycle-level and forces RTL.
         """
         sr = self.sr
         if problem.semiring.name != sr.name:
@@ -148,7 +151,7 @@ class FeedbackSystolicArray:
             )
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks or injector is not None:
+        if record_trace or sinks or injector is not None or strict:
             resolved = "rtl"
         if observe is None:
             observe = injector is not None
@@ -160,7 +163,7 @@ class FeedbackSystolicArray:
             work=work,
             rtl=lambda: self._run_rtl(
                 problem, n_stages, m, record_trace=record_trace, sinks=sinks,
-                injector=injector, observe=bool(observe),
+                injector=injector, observe=bool(observe), strict=strict,
             ),
             fast=lambda: self._run_fast(problem, n_stages, m),
             validate=self._validate,
@@ -198,15 +201,19 @@ class FeedbackSystolicArray:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool = False,
+        strict: bool = False,
     ) -> FeedbackArrayResult:
         sr = self.sr
         f: Callable[[float, float], float] = lambda a, b: float(
             problem.edge_cost(np.asarray(a), np.asarray(b))
         )
 
+        # The feedback bus is driven by the array-level controller (the
+        # deliver() actions run in start_tick at array scope), so the PE
+        # link topology stays the line.
         machine = SystolicMachine(
             self.design_name, record_trace=record_trace, sinks=sinks,
-            injector=injector,
+            injector=injector, strict=strict,
         )
         pes = machine.add_pes(m)
         for pe in pes:
@@ -266,6 +273,7 @@ class FeedbackSystolicArray:
             # the pair arriving from PE i-1 (or the input stream).
             for i in range(m - 1, -1, -1):
                 pe = pes[i]
+                machine.enter_pe(i)
                 if i == 0:
                     pair = stream(it)
                     if pair is not None and pair.stage <= n_stages:
@@ -274,6 +282,7 @@ class FeedbackSystolicArray:
                     pair = pes[i - 1]["PAIR"].value
                 if pair is None:
                     pe["PAIR"].set(None)
+                    machine.exit_pe()
                     continue
                 if i in bypass:
                     k_val, h_val = bypass[i]
@@ -287,6 +296,7 @@ class FeedbackSystolicArray:
                         )
                         machine.emit("shift", i, label)
                     pe["PAIR"].set(pair)
+                    machine.exit_pe()
                     continue
                 if machine.tracing:
                     label = "F0" if pair.stage > n_stages else f"x{pair.stage},{pair.index}"
@@ -307,6 +317,7 @@ class FeedbackSystolicArray:
                         pair.index,
                     )
                 )
+                machine.exit_pe()
 
             # Tick edge: latch registers, advance the clock.
             machine.end_tick()

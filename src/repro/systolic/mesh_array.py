@@ -78,7 +78,7 @@ class MeshMatrixMultiplier:
 
     design_name = "mesh-matmul"
 
-    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl"):
+    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl") -> None:
         self.sr = semiring
         self.backend = normalize_backend(backend)
 
@@ -91,6 +91,7 @@ class MeshMatrixMultiplier:
         backend: str | None = None,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
+        strict: bool = False,
     ) -> MeshArrayResult:
         """Multiply ``a ⊗ b`` on an ``n × m`` mesh of PEs.
 
@@ -100,6 +101,9 @@ class MeshMatrixMultiplier:
         RTL simulation, the vectorized fast path, or ``"auto"``
         cross-validation; ``record_trace=True`` always runs RTL, as
         does subscribing telemetry ``sinks`` to the event bus.
+        ``strict`` enables the hazard sanitizer
+        (:mod:`repro.analysis.hazards`), which is also cycle-level and
+        forces RTL.
         """
         sr = self.sr
         a = sr.asarray(a)
@@ -112,14 +116,14 @@ class MeshMatrixMultiplier:
             raise SystolicError(f"inner dimensions differ: {a.shape} x {b.shape}")
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks or injector is not None:
+        if record_trace or sinks or injector is not None or strict:
             resolved = "rtl"
         return run_with_backend(
             resolved,
             work=n * k * m,
             rtl=lambda: self._run_rtl(
                 a, b, n, k, m, record_trace=record_trace, sinks=sinks,
-                injector=injector,
+                injector=injector, strict=strict,
             ),
             fast=lambda: self._run_fast(a, b, n, k, m),
             validate=self._validate,
@@ -148,11 +152,12 @@ class MeshMatrixMultiplier:
         record_trace: bool = False,
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
+        strict: bool = False,
     ) -> MeshArrayResult:
         sr = self.sr
         machine = SystolicMachine(
             self.design_name, record_trace=record_trace, sinks=sinks,
-            injector=injector,
+            injector=injector, strict=strict, topology=("grid", n, m),
         )
         machine.add_pes(n * m)
         pes = [[machine.pes[i * m + j] for j in range(m)] for i in range(n)]
@@ -167,6 +172,7 @@ class MeshMatrixMultiplier:
             for i in range(n):
                 for j in range(m):
                     pe = pes[i][j]
+                    machine.enter_pe(pe.index)
                     # The A element entering PE (i, j) this tick: from the
                     # west neighbour's latch, or the skewed feed at j = 0.
                     if j == 0:
@@ -191,6 +197,7 @@ class MeshMatrixMultiplier:
                         machine.emit("op", pe.index, f"k{t - i - j + 1}")
                     pe["A"].set(a_in)
                     pe["B"].set(b_in)
+                    machine.exit_pe()
             machine.end_tick()
 
         out = sr.asarray(

@@ -151,7 +151,7 @@ class _ParenthesizerBase:
     alternatives_per_step = 2
     base_time = 1  # completion step of the size-1 leaves
 
-    def __init__(self, backend: str = "rtl"):
+    def __init__(self, backend: str = "rtl") -> None:
         self.backend = normalize_backend(backend)
 
     def _transfer_delay(self, parent_size: int, child_size: int) -> int:
@@ -166,13 +166,14 @@ class _ParenthesizerBase:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool | None = None,
+        strict: bool = False,
     ) -> ParenthesizationRun:
         """Solve eq. (6) for ``dims`` on the array; measure the schedule."""
         dims = _check_dims(dims)
         n = len(dims) - 1
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks or injector is not None:
+        if record_trace or sinks or injector is not None or strict:
             resolved = "rtl"
         if observe is None:
             observe = injector is not None
@@ -182,7 +183,7 @@ class _ParenthesizerBase:
             work=work,
             rtl=lambda: self._run_rtl(
                 dims, n, record_trace=record_trace, sinks=sinks,
-                injector=injector, observe=bool(observe),
+                injector=injector, observe=bool(observe), strict=strict,
             ),
             fast=lambda: self._run_fast(dims, n),
             validate=self._validate,
@@ -215,15 +216,21 @@ class _ParenthesizerBase:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool = False,
+        strict: bool = False,
     ) -> ParenthesizationRun:
         r = np.asarray(dims, dtype=np.int64)
         split: dict[tuple[int, int], int] = {}
         done = {(i, i): self.base_time for i in range(1, n + 1)}
         alternatives = 0
 
+        # Both mappings let any OR-node consume any completed child:
+        # the broadcast design via its multiple broadcast buses, the
+        # serialized design via the Figure-8 dummy pass-through cells
+        # (modeled as availability delays rather than explicit hops).
+        # Either way the *declared* link graph is all-to-all.
         machine = SystolicMachine(
             self.design_name, record_trace=record_trace, sinks=sinks,
-            injector=injector,
+            injector=injector, strict=strict, topology="complete",
         )
         for _ in range(self.base_time):  # leaves load during the base steps
             machine.end_tick()
@@ -266,6 +273,7 @@ class _ParenthesizerBase:
                 remaining: list[tuple[int, int]] = []
                 folded = 0
                 pe = machine.pes[pe_index[key]]
+                machine.enter_pe(pe_index[key])
                 staged = pe["M"].value  # running minimum latched so far
                 for _prio, k in pending[key]:
                     left, right = (i, k), (k + 1, j)
@@ -294,6 +302,7 @@ class _ParenthesizerBase:
                     pe.count_op(folded)
                     machine.emit("op", pe_index[key], f"m{i},{j}")
                     pe["M"].set(staged)
+                machine.exit_pe()
                 if not remaining and key in split:
                     done[key] = step
                     newly_done.append(key)
@@ -305,7 +314,7 @@ class _ParenthesizerBase:
             if step > 4 * n * n + 8:  # defensive: schedule must terminate
                 raise RuntimeError(f"{self.design_name}: schedule did not converge")
 
-        def build(i: int, j: int):
+        def build(i: int, j: int) -> int | tuple:
             if i == j:
                 return i
             k = split[(i, j)]
@@ -372,7 +381,7 @@ class _ParenthesizerBase:
             )
             alternatives += (span - 1) * i_idx.size
 
-        def build(i: int, j: int):
+        def build(i: int, j: int) -> int | tuple:
             if i == j:
                 return i
             k = int(S[i, j])

@@ -115,7 +115,7 @@ class PipelinedMatrixStringArray:
 
     design_name = "fig3-pipelined"
 
-    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl"):
+    def __init__(self, semiring: Semiring = MIN_PLUS, backend: str = "rtl") -> None:
         self.sr = semiring
         self.backend = normalize_backend(backend)
 
@@ -129,6 +129,7 @@ class PipelinedMatrixStringArray:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool | None = None,
+        strict: bool = False,
     ) -> PipelinedArrayResult:
         """Evaluate the matrix string right-to-left on the array.
 
@@ -156,10 +157,17 @@ class PipelinedMatrixStringArray:
         cycle-level phenomenon.  ``observe`` captures the per-phase
         boundary vectors for the ABFT detectors (defaults to on exactly
         when an injector is attached).
+
+        ``strict`` turns on the hazard sanitizer
+        (:mod:`repro.analysis.hazards`): every register read/write of
+        the run is checked against the systolic discipline, and any
+        violation raises ``HazardError`` at finalize.  Hazards are a
+        cycle-level property, so strict mode also forces RTL — the fast
+        vectorized path never pays for it.
         """
         resolved = normalize_backend(backend, self.backend)
         sinks = tuple(sinks)
-        if record_trace or sinks or injector is not None:
+        if record_trace or sinks or injector is not None or strict:
             resolved = "rtl"
         if observe is None:
             observe = injector is not None
@@ -170,7 +178,7 @@ class PipelinedMatrixStringArray:
             work=work,
             rtl=lambda: self._run_rtl(
                 mats, vec, m, record_trace=record_trace, sinks=sinks,
-                injector=injector, observe=bool(observe),
+                injector=injector, observe=bool(observe), strict=strict,
             ),
             fast=lambda: self._run_fast(mats, vec, m),
             validate=self._validate,
@@ -203,11 +211,12 @@ class PipelinedMatrixStringArray:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool = False,
+        strict: bool = False,
     ) -> PipelinedArrayResult:
         sr = self.sr
         machine = SystolicMachine(
             self.design_name, record_trace=record_trace, sinks=sinks,
-            injector=injector,
+            injector=injector, strict=strict,
         )
         pes = machine.add_pes(m)
         for pe in pes:
@@ -345,6 +354,7 @@ class PipelinedMatrixStringArray:
         sinks: Iterable[Callable[[TraceEvent], None]] = (),
         injector: object = None,
         observe: bool | None = None,
+        strict: bool = False,
     ) -> PipelinedArrayResult:
         """Evaluate a single-sink multistage graph (backward formulation).
 
@@ -361,6 +371,7 @@ class PipelinedMatrixStringArray:
             sinks=sinks,
             injector=injector,
             observe=observe,
+            strict=strict,
         )
 
     # ------------------------------------------------------------------
@@ -393,11 +404,13 @@ class PipelinedMatrixStringArray:
                 s = t - i
                 if not 0 <= s < m:
                     continue
+                machine.enter_pe(i)
                 x_in = moving[s] if i == 0 else pes[i - 1]["R"].value
                 pe["ACC"].set(
                     sr.scalar_add(pe["ACC"].value, sr.scalar_mul(float(mat[i, s]), x_in))
                 )
                 pe["R"].set(x_in)
+                machine.exit_pe()
                 pe.count_op()
                 active += 1
                 machine.emit(
@@ -429,11 +442,13 @@ class PipelinedMatrixStringArray:
                 s = t - i
                 if not 0 <= s < m:
                     continue
+                machine.enter_pe(i)
                 part_in = sr.zero if i == 0 else pes[i - 1]["Y"].value
                 part_out = sr.scalar_add(
                     part_in, sr.scalar_mul(float(mat[s, i]), pe["X"].value)
                 )
                 pe["Y"].set(part_out)
+                machine.exit_pe()
                 pe.count_op()
                 active += 1
                 machine.emit(
@@ -465,11 +480,13 @@ class PipelinedMatrixStringArray:
         pe["ACC"].set(sr.zero)
         machine.latch()
         for s in range(m):
+            machine.enter_pe(0)
             pe["ACC"].set(
                 sr.scalar_add(
                     pe["ACC"].value, sr.scalar_mul(float(row[0, s]), moving[s])
                 )
             )
+            machine.exit_pe()
             pe.count_op()
             machine.emit(
                 "op", 0, f"p{machine.phase}:x{s + 1}",
@@ -491,10 +508,12 @@ class PipelinedMatrixStringArray:
         m = len(pes)
         for t in range(m):
             pe = pes[t]
+            machine.enter_pe(t)
             part_in = sr.zero if t == 0 else pes[t - 1]["Y"].value
             pe["Y"].set(
                 sr.scalar_add(part_in, sr.scalar_mul(float(row[0, t]), pe["X"].value))
             )
+            machine.exit_pe()
             pe.count_op()
             machine.emit(
                 "op", t, f"p{machine.phase}:y1",

@@ -97,14 +97,14 @@ class TriangularSpec:
 class MatrixChainSpec(TriangularSpec):
     """Eq. (6): keys are 1-based subchains ``(i, j)``."""
 
-    def __init__(self, dims: Sequence[int]):
+    def __init__(self, dims: Sequence[int]) -> None:
         self.dims = _check_dims(dims)
         self.n = len(self.dims) - 1
 
     def leaves(self) -> dict[Hashable, float]:
         return {(i, i): 0.0 for i in range(1, self.n + 1)}
 
-    def subproblems(self):
+    def subproblems(self) -> Sequence[tuple[Hashable, list[Alternative]]]:
         r = self.dims
         out = []
         for span in range(2, self.n + 1):
@@ -117,11 +117,11 @@ class MatrixChainSpec(TriangularSpec):
                 out.append(((i, j), alts))
         return out
 
-    def size(self, key) -> int:
+    def size(self, key: Hashable) -> int:
         i, j = key
         return j - i + 1
 
-    def goal(self):
+    def goal(self) -> Hashable:
         return (1, self.n)
 
 
@@ -129,7 +129,7 @@ class ObstSpec(TriangularSpec):
     """Optimal binary search trees: keys are spans ``(i, j)`` with
     ``j ≥ i − 1``; the empty spans ``(i, i−1)`` are the ``q`` leaves."""
 
-    def __init__(self, p: Sequence[float], q: Sequence[float]):
+    def __init__(self, p: Sequence[float], q: Sequence[float]) -> None:
         self.p, self.q = _check_weights(p, q)
         self.n = self.p.size
         # Prefix sums for w(i, j) = sum(p_i..p_j) + sum(q_{i-1}..q_j).
@@ -142,7 +142,7 @@ class ObstSpec(TriangularSpec):
     def leaves(self) -> dict[Hashable, float]:
         return {(i, i - 1): float(self.q[i - 1]) for i in range(1, self.n + 2)}
 
-    def subproblems(self):
+    def subproblems(self) -> Sequence[tuple[Hashable, list[Alternative]]]:
         out = []
         for span in range(1, self.n + 1):
             for i in range(1, self.n - span + 2):
@@ -154,11 +154,11 @@ class ObstSpec(TriangularSpec):
                 out.append(((i, j), alts))
         return out
 
-    def size(self, key) -> int:
+    def size(self, key: Hashable) -> int:
         i, j = key
         return j - i + 2  # empty spans sit at level 1... leaves level 1
 
-    def goal(self):
+    def goal(self) -> Hashable:
         return (1, self.n) if self.n else (1, 0)
 
 
@@ -233,7 +233,7 @@ class TriangularArray:
         alternatives_per_step: int = 2,
         base_time: int | None = None,
         backend: str = "rtl",
-    ):
+    ) -> None:
         if transfer not in ("broadcast", "systolic"):
             raise ValueError(f"unknown transfer model {transfer!r}")
         if alternatives_per_step < 1:

@@ -1,0 +1,32 @@
+"""Seeded-hazard fixture designs for the analysis-layer tests.
+
+Each ``hazard_*`` module is a deliberately broken miniature systolic
+design that violates exactly one discipline rule, written so that BOTH
+detection layers fire on it: :func:`repro.analysis.check_file` flags
+the source and a strict-mode run records the same rule dynamically.
+``clean_shift`` is the negative control — a correct neighbor shift
+chain that passes both layers.
+
+Every module exposes ``run(mode="record")`` returning the finished
+:class:`~repro.systolic.fabric.RunReport` (``mode="raise"`` instead
+raises :class:`~repro.analysis.HazardError` at finalize).
+"""
+
+from . import (  # noqa: F401
+    clean_shift,
+    hazard_cross_pe_write,
+    hazard_forced_write,
+    hazard_non_neighbor,
+    hazard_silent_op,
+    hazard_staged_read,
+    hazard_write_write,
+)
+
+FIXTURES = {
+    "write-write": hazard_write_write,
+    "read-after-staged-write": hazard_staged_read,
+    "cross-pe-write": hazard_cross_pe_write,
+    "non-neighbor-link": hazard_non_neighbor,
+    "forced-write": hazard_forced_write,
+    "silent-op": hazard_silent_op,
+}

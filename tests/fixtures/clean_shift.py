@@ -1,0 +1,28 @@
+"""Negative control: a correct neighbor shift chain, hazard-free."""
+
+from __future__ import annotations
+
+from repro.analysis import HazardSanitizer
+from repro.systolic.fabric import RunReport, SystolicMachine
+
+
+def run(mode: str = "raise") -> RunReport:
+    machine = SystolicMachine(
+        "fixture-clean-shift", record_trace=True,
+        sanitizer=HazardSanitizer(mode=mode),
+    )
+    pes = machine.add_pes(4)
+    for pe in pes:
+        pe.reg("R", 0.0)
+    for tick in range(4):
+        for i, pe in enumerate(pes):
+            machine.enter_pe(i)
+            if i > 0:
+                pe["R"].set(pes[i - 1]["R"].value)  # one hop west, pre-tick
+            else:
+                pe["R"].set(float(tick))
+            pe.count_op()
+            machine.emit("op", i, "shift")
+            machine.exit_pe()
+        machine.end_tick()
+    return machine.finalize(iterations=4, serial_ops=16)

@@ -1,0 +1,24 @@
+"""Seeded hazard: a PE writes into its neighbour's register file."""
+
+from __future__ import annotations
+
+from repro.analysis import HazardSanitizer
+from repro.systolic.fabric import RunReport, SystolicMachine
+
+
+def run(mode: str = "record") -> RunReport:
+    machine = SystolicMachine(
+        "fixture-cross-pe-write", sanitizer=HazardSanitizer(mode=mode)
+    )
+    pes = machine.add_pes(3)
+    for pe in pes:
+        pe.reg("R", 1.0)
+    for i in range(len(pes) - 1):
+        pe = pes[i]
+        machine.enter_pe(i)
+        pes[i + 1]["R"].set(pe["R"].value)  # pushes into the neighbour
+        pe.count_op()
+        machine.emit("op", i, "push")
+        machine.exit_pe()
+    machine.end_tick()
+    return machine.finalize(iterations=1, serial_ops=2)

@@ -1,0 +1,23 @@
+"""Seeded hazard: design code forces a register outside an injector."""
+
+from __future__ import annotations
+
+from repro.analysis import HazardSanitizer
+from repro.systolic.fabric import RunReport, SystolicMachine
+
+
+def run(mode: str = "record") -> RunReport:
+    machine = SystolicMachine(
+        "fixture-forced-write", sanitizer=HazardSanitizer(mode=mode)
+    )
+    pes = machine.add_pes(2)
+    for pe in pes:
+        pe.reg("R", 0.0)
+    for i, pe in enumerate(pes):
+        machine.enter_pe(i)
+        pe["R"].force(42.0)  # bypasses the latch discipline entirely
+        pe.count_op()
+        machine.emit("op", i, "force")
+        machine.exit_pe()
+    machine.end_tick()
+    return machine.finalize(iterations=1, serial_ops=2)

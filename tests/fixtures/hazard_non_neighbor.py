@@ -1,0 +1,24 @@
+"""Seeded hazard: a PE reads two hops away on a line topology."""
+
+from __future__ import annotations
+
+from repro.analysis import HazardSanitizer
+from repro.systolic.fabric import RunReport, SystolicMachine
+
+
+def run(mode: str = "record") -> RunReport:
+    machine = SystolicMachine(
+        "fixture-non-neighbor", sanitizer=HazardSanitizer(mode=mode)
+    )
+    pes = machine.add_pes(4)
+    for pe in pes:
+        pe.reg("R", 1.0)
+    for i, pe in enumerate(pes):
+        machine.enter_pe(i)
+        if i + 2 < len(pes):
+            pe["R"].set(pes[i + 2]["R"].value)  # skips a hop on the line
+        pe.count_op()
+        machine.emit("op", i, "skip")
+        machine.exit_pe()
+    machine.end_tick()
+    return machine.finalize(iterations=1, serial_ops=2)

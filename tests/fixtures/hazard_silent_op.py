@@ -1,0 +1,25 @@
+"""Seeded hazard: PEs count work without publishing trace events."""
+
+from __future__ import annotations
+
+from repro.analysis import HazardSanitizer
+from repro.systolic.fabric import RunReport, SystolicMachine
+
+
+def run(mode: str = "record") -> RunReport:
+    # record_trace activates the trace bus: counted ops must emit.
+    machine = SystolicMachine(
+        "fixture-silent-op", record_trace=True,
+        sanitizer=HazardSanitizer(mode=mode),
+    )
+    pes = machine.add_pes(2)
+    for pe in pes:
+        pe.reg("R", 0.0)
+    for tick in range(2):
+        for i, pe in enumerate(pes):
+            machine.enter_pe(i)
+            pe["R"].set(float(i + tick))
+            pe.count_op()  # busy and counted, but never emits
+            machine.exit_pe()
+        machine.end_tick()
+    return machine.finalize(iterations=2, serial_ops=4)

@@ -1,0 +1,25 @@
+"""Seeded hazard: a PE reads back a register it just staged."""
+
+from __future__ import annotations
+
+from repro.analysis import HazardSanitizer
+from repro.systolic.fabric import RunReport, SystolicMachine
+
+
+def run(mode: str = "record") -> RunReport:
+    machine = SystolicMachine(
+        "fixture-staged-read", sanitizer=HazardSanitizer(mode=mode)
+    )
+    pes = machine.add_pes(2)
+    for pe in pes:
+        pe.reg("ACC", 0.0)
+    for tick in range(2):
+        for i, pe in enumerate(pes):
+            machine.enter_pe(i)
+            pe["ACC"].set(float(tick))
+            stale = pe["ACC"].value  # still pre-tick: the set has not latched
+            pe.count_op()
+            machine.emit("op", i, f"v{stale}")
+            machine.exit_pe()
+        machine.end_tick()
+    return machine.finalize(iterations=2, serial_ops=4)

@@ -1,0 +1,25 @@
+"""Seeded hazard: the same register driven twice in one tick."""
+
+from __future__ import annotations
+
+from repro.analysis import HazardSanitizer
+from repro.systolic.fabric import RunReport, SystolicMachine
+
+
+def run(mode: str = "record") -> RunReport:
+    machine = SystolicMachine(
+        "fixture-write-write", sanitizer=HazardSanitizer(mode=mode)
+    )
+    pes = machine.add_pes(2)
+    for pe in pes:
+        pe.reg("R", 0.0)
+    for tick in range(2):
+        for i, pe in enumerate(pes):
+            machine.enter_pe(i)
+            pe["R"].set(float(tick))
+            pe["R"].set(float(tick) + 1.0)  # double drive: no latch between
+            pe.count_op()
+            machine.emit("op", i, "w")
+            machine.exit_pe()
+        machine.end_tick()
+    return machine.finalize(iterations=2, serial_ops=4)

@@ -1,0 +1,217 @@
+"""Dynamic hazard sanitizer: every rule fires, and only when it should."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import HAZARD_RULES, HazardError, HazardSanitizer
+from repro.systolic.fabric import SystolicMachine, SystolicError
+
+from .fixtures import FIXTURES, clean_shift
+
+
+class TestFixtureDesigns:
+    @pytest.mark.parametrize("rule", sorted(FIXTURES))
+    def test_seeded_hazard_is_recorded(self, rule):
+        machine_report = FIXTURES[rule].run(mode="record")
+        assert machine_report.hazards > 0
+
+    @pytest.mark.parametrize("rule", sorted(FIXTURES))
+    def test_seeded_hazard_is_the_right_rule(self, rule):
+        with pytest.raises(HazardError) as exc_info:
+            FIXTURES[rule].run(mode="raise")
+        report = exc_info.value.report
+        assert report, "raise mode must carry the hazard report"
+        assert {h.rule for h in report} == {rule}
+
+    @pytest.mark.parametrize("rule", sorted(FIXTURES))
+    def test_raise_mode_still_finishes_the_run_first(self, rule):
+        # HazardError comes from finalize, not mid-run: the schedule
+        # completes, so the report carries the full picture.
+        with pytest.raises(HazardError) as exc_info:
+            FIXTURES[rule].run(mode="raise")
+        assert all(h.tick >= 1 for h in exc_info.value.report)
+
+    def test_clean_design_passes_raise_mode(self):
+        report = clean_shift.run(mode="raise")
+        assert report.hazards == 0
+
+    def test_hazard_entries_are_structured(self):
+        san_report = None
+        with pytest.raises(HazardError) as exc_info:
+            FIXTURES["write-write"].run(mode="raise")
+        for h in exc_info.value.report:
+            assert h.rule in HAZARD_RULES
+            d = h.as_dict()
+            assert set(d) == {"rule", "tick", "pe", "owner", "reg", "detail"}
+
+
+class TestSanitizerMechanics:
+    def _machine(self, mode="record"):
+        m = SystolicMachine("toy", sanitizer=HazardSanitizer(mode=mode))
+        pes = m.add_pes(3)
+        for pe in pes:
+            pe.reg("R", 0.0)
+        return m, pes
+
+    def test_strict_flag_constructs_default_sanitizer(self):
+        m = SystolicMachine("toy", strict=True)
+        assert isinstance(m.sanitizer, HazardSanitizer)
+        assert m.sanitizer.mode == "raise"
+
+    def test_sanitizer_serves_one_machine(self):
+        san = HazardSanitizer()
+        SystolicMachine("a", sanitizer=san)
+        with pytest.raises(SystolicError):
+            SystolicMachine("b", sanitizer=san)
+
+    def test_array_scope_is_exempt_from_ownership(self):
+        # Controller code (no enter_pe) may touch any PE's registers.
+        m, pes = self._machine()
+        pes[0]["R"].set(1.0)
+        pes[2]["R"].set(2.0)
+        m.end_tick()
+        assert m.sanitizer.report == []
+
+    def test_array_scope_still_catches_staged_read(self):
+        m, pes = self._machine()
+        pes[0]["R"].set(1.0)
+        _ = pes[0]["R"].value  # controller reads back its own staged write
+        m.end_tick()
+        assert m.sanitizer.counts() == {"read-after-staged-write": 1}
+
+    def test_cross_scope_read_of_pending_register_is_legal(self):
+        # The classic systolic overlap: PE1 reads PE0's latched value
+        # while PE0's *next* value is still staged.
+        m, pes = self._machine()
+        m.enter_pe(0)
+        pes[0]["R"].set(1.0)
+        m.exit_pe()
+        m.enter_pe(1)
+        _ = pes[0]["R"].value  # neighbour, pre-tick state: fine
+        m.exit_pe()
+        m.end_tick()
+        assert m.sanitizer.report == []
+
+    def test_grid_topology_neighbors(self):
+        m = SystolicMachine("grid", topology=("grid", 2, 3))
+        assert m.neighbors(0, 1) and m.neighbors(0, 3)
+        assert not m.neighbors(0, 4) and not m.neighbors(2, 3)
+
+    def test_complete_topology_allows_any_link(self):
+        m = SystolicMachine(
+            "anyhop", sanitizer=HazardSanitizer(), topology="complete"
+        )
+        pes = m.add_pes(4)
+        for pe in pes:
+            pe.reg("R", 0.0)
+        m.enter_pe(0)
+        _ = pes[3]["R"].value
+        m.exit_pe()
+        m.end_tick()
+        assert m.sanitizer.report == []
+
+    def test_unknown_topology_raises(self):
+        m = SystolicMachine("bad", topology="torus")
+        with pytest.raises(SystolicError):
+            m.neighbors(0, 1)
+
+    def test_unmonitored_double_drive_still_raises(self):
+        # Without a sanitizer the fabric's own hard check is unchanged.
+        m = SystolicMachine("plain")
+        (pe,) = m.add_pes(1)
+        pe.reg("R", 0.0)
+        pe["R"].set(1.0)
+        with pytest.raises(SystolicError, match="driven twice"):
+            pe["R"].set(2.0)
+
+    def test_record_mode_counts_into_run_report(self):
+        m, pes = self._machine(mode="record")
+        m.enter_pe(0)
+        pes[1]["R"].set(9.0)  # cross-PE write
+        m.exit_pe()
+        m.end_tick()
+        report = m.finalize(iterations=1, serial_ops=1)
+        assert report.hazards == 1
+        assert m.sanitizer.counts() == {"cross-pe-write": 1}
+
+    def test_hazard_events_reach_the_trace_bus(self):
+        events = []
+        m = SystolicMachine(
+            "traced", record_trace=True, sinks=(events.append,),
+            sanitizer=HazardSanitizer(mode="record"),
+        )
+        pes = m.add_pes(2)
+        for pe in pes:
+            pe.reg("R", 0.0)
+        m.enter_pe(0)
+        pes[1]["R"].set(5.0)
+        m.exit_pe()
+        m.end_tick()
+        m.finalize(iterations=1, serial_ops=1)
+        kinds = [e.kind for e in events]
+        assert "hazard" in kinds
+        hazard_events = [e for e in events if e.kind == "hazard"]
+        assert all("cross-pe-write" in e.label for e in hazard_events)
+
+
+class TestInjectorExemption:
+    def test_injector_writes_are_not_design_hazards(self):
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            design="toy",
+            specs=(
+                FaultSpec(mode="transient_flip", pe=0, reg="R", tick=1),
+                FaultSpec(
+                    mode="stuck_at", pe=1, reg="R", tick=1, duration=2,
+                    value=7.0,
+                ),
+            ),
+        )
+        injector = FaultInjector(plan)
+        m = SystolicMachine(
+            "toy", injector=injector, sanitizer=HazardSanitizer(mode="raise")
+        )
+        pes = m.add_pes(2)
+        for pe in pes:
+            pe.reg("R", 3.0)
+        for i, pe in enumerate(pes):
+            m.enter_pe(i)
+            pe["R"].set(float(i))
+            m.exit_pe()
+        m.end_tick()
+        m.end_tick()
+        report = m.finalize(iterations=2, serial_ops=2)
+        assert len(injector.injections) >= 2
+        assert report.hazards == 0  # forces/doubles attributed to injector
+
+    def test_design_hazards_still_caught_under_injection(self):
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            design="toy",
+            specs=(FaultSpec(mode="transient_flip", pe=0, reg="R", tick=1),),
+        )
+        m = SystolicMachine(
+            "toy", injector=FaultInjector(plan),
+            sanitizer=HazardSanitizer(mode="record"),
+        )
+        pes = m.add_pes(2)
+        for pe in pes:
+            pe.reg("R", 0.0)
+        m.enter_pe(0)
+        pes[1]["R"].set(1.0)  # genuine design bug, same run
+        m.exit_pe()
+        m.end_tick()
+        report = m.finalize(iterations=1, serial_ops=1)
+        assert m.sanitizer.counts() == {"cross-pe-write": 1}
+        assert report.hazards == 1
+
+    def test_report_round_trips_hazard_count(self):
+        from repro.io import report_from_dict, report_to_dict
+
+        report = FIXTURES["write-write"].run(mode="record")
+        clone = report_from_dict(report_to_dict(report))
+        assert clone.hazards == report.hazards > 0

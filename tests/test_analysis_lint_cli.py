@@ -1,0 +1,143 @@
+"""The lint driver and its CLI subcommand: gates, JSON, exit codes."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import run_lint
+from repro.analysis.lint import LintReport, default_lint_paths
+
+REPO = pathlib.Path(__file__).parent.parent
+FIXTURE_DIR = pathlib.Path(__file__).parent / "fixtures"
+
+
+class TestRunLint:
+    def test_shipped_tree_is_clean(self):
+        report = run_lint([REPO / "src" / "repro"], run_tools=False)
+        assert report.findings == []
+        assert report.ok
+        assert report.files_checked > 50
+
+    def test_fixture_tree_fails(self):
+        report = run_lint([FIXTURE_DIR], run_tools=False)
+        assert not report.ok
+        rules = {f.rule for f in report.findings}
+        assert {
+            "write-write", "read-after-staged-write", "cross-pe-write",
+            "non-neighbor-link", "forced-write", "silent-op",
+        } <= rules
+
+    def test_single_file_path(self):
+        report = run_lint(
+            [FIXTURE_DIR / "hazard_forced_write.py"], run_tools=False
+        )
+        assert report.files_checked == 1
+        assert [f.rule for f in report.findings] == ["forced-write"]
+
+    def test_default_paths_point_at_the_package(self):
+        (pkg,) = default_lint_paths()
+        assert pkg.name == "repro"
+        assert (pkg / "systolic" / "fabric.py").exists()
+
+    def test_skipped_tools_do_not_fail_the_gate(self):
+        report = run_lint([FIXTURE_DIR / "clean_shift.py"], run_tools=False)
+        assert report.tools["ruff"]["status"] == "skipped"
+        assert report.tools["mypy"]["status"] == "skipped"
+        assert report.ok
+
+    def test_unavailable_or_ok_tools_when_enabled(self):
+        # Without ruff/mypy installed the sections degrade gracefully;
+        # with them installed (CI) they must actually pass.
+        report = run_lint([FIXTURE_DIR / "clean_shift.py"], run_tools=True)
+        for name in ("ruff", "mypy"):
+            assert report.tools[name]["status"] in ("ok", "unavailable", "failed")
+        if all(
+            report.tools[n]["status"] == "unavailable" for n in ("ruff", "mypy")
+        ):
+            assert report.ok
+
+    def test_report_json_shape(self):
+        report = run_lint(
+            [FIXTURE_DIR / "hazard_silent_op.py"],
+            include_suppressed=True, run_tools=False,
+        )
+        data = json.loads(report.to_json())
+        assert data["kind"] == "lint_report"
+        assert data["ok"] is False
+        assert data["findings"][0]["rule"] == "silent-op"
+        assert isinstance(data["link_graph"], dict)
+
+    def test_failed_tool_fails_the_gate(self):
+        report = LintReport(
+            files_checked=1, findings=[], suppressed=[], link_graph={},
+            tools={"ruff": {"status": "failed", "findings": 3}},
+        )
+        assert not report.ok
+
+
+class TestCliLint:
+    def test_clean_tree_exits_zero(self, capsys):
+        rc = main(["lint", str(REPO / "src" / "repro"), "--no-tools"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lint clean" in out
+
+    def test_fixture_tree_exits_one(self, capsys):
+        rc = main(["lint", str(FIXTURE_DIR), "--no-tools"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "lint FAILED" in out
+        assert "forced-write" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        out_file = tmp_path / "lint.json"
+        rc = main([
+            "lint", str(FIXTURE_DIR / "clean_shift.py"),
+            "--no-tools", "--json", str(out_file),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        data = json.loads(out_file.read_text())
+        assert data["kind"] == "lint_report" and data["ok"]
+
+    def test_missing_path_exits_two(self, capsys):
+        rc = main(["lint", "/no/such/tree", "--no-tools"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "error:" in err
+
+    def test_include_suppressed_lists_them(self, tmp_path, capsys):
+        src = tmp_path / "suppressed.py"
+        src.write_text(
+            "def hack(reg):\n"
+            "    reg.force(1.0)  # systolic: allow(forced-write) scan restore\n"
+        )
+        rc = main(["lint", str(src), "--no-tools", "--include-suppressed"])
+        out = capsys.readouterr().out
+        assert rc == 0  # suppressed findings never fail the gate
+        assert "suppressed: scan restore" in out
+
+
+class TestCliStrictTrace:
+    def test_strict_trace_clean_design(self, capsys):
+        rc = main([
+            "trace", "--design", "mesh", "--export", "ascii", "--strict",
+            "--n", "3", "--m", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hazard sanitizer: 0 hazard(s)" in out
+
+    @pytest.mark.parametrize("design", ["pipelined", "broadcast", "feedback", "paren"])
+    def test_strict_trace_all_designs(self, design, capsys):
+        rc = main([
+            "trace", "--design", design, "--export", "ascii", "--strict",
+            "--n", "4", "--m", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hazard sanitizer: 0 hazard(s)" in out

@@ -1,0 +1,299 @@
+"""Static design checker: each rule has a positive and a negative case."""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import check_file, check_source
+from repro.analysis.static_check import extract_link_graph
+
+from .fixtures import FIXTURES, clean_shift
+
+FIXTURE_DIR = pathlib.Path(__file__).parent / "fixtures"
+
+
+def rules_in(source: str) -> set[str]:
+    return {f.rule for f in check_source(textwrap.dedent(source))}
+
+
+class TestFixtureFiles:
+    @pytest.mark.parametrize("rule", sorted(FIXTURES))
+    def test_fixture_is_flagged_with_its_rule(self, rule):
+        findings = check_file(pathlib.Path(FIXTURES[rule].__file__))
+        assert {f.rule for f in findings} == {rule}
+
+    def test_clean_fixture_has_no_findings(self):
+        assert check_file(pathlib.Path(clean_shift.__file__)) == []
+
+    def test_findings_carry_location(self):
+        path = pathlib.Path(FIXTURES["write-write"].__file__)
+        (finding,) = check_file(path)[:1]
+        assert finding.path.endswith("hazard_write_write.py")
+        assert finding.line > 0
+        assert "write-write" in str(finding)
+
+
+class TestWriteWrite:
+    def test_double_set_in_pe_loop(self):
+        assert "write-write" in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pe["R"].set(1.0)
+                    pe["R"].set(2.0)
+                machine.end_tick()
+        """)
+
+    def test_set_after_latch_is_fine(self):
+        assert "write-write" not in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pe["R"].set(1.0)
+                machine.end_tick()
+                for i, pe in enumerate(pes):
+                    pe["R"].set(2.0)
+                machine.end_tick()
+        """)
+
+    def test_distinct_pes_same_register_name_is_fine(self):
+        assert "write-write" not in rules_in("""
+            def step(machine, pes):
+                pes[0]["R"].set(1.0)
+                pes[1]["R"].set(2.0)
+                machine.end_tick()
+        """)
+
+    def test_branches_do_not_double_count(self):
+        # A set in only one arm of an if is not a double drive.
+        assert "write-write" not in rules_in("""
+            def step(machine, pes, flag):
+                for i, pe in enumerate(pes):
+                    if flag:
+                        pe["R"].set(1.0)
+                    else:
+                        pe["R"].set(2.0)
+                machine.end_tick()
+        """)
+
+
+class TestStagedRead:
+    def test_read_back_after_set(self):
+        assert "read-after-staged-write" in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pe["ACC"].set(1.0)
+                    y = pe["ACC"].value
+                machine.end_tick()
+        """)
+
+    def test_read_before_set_is_fine(self):
+        assert "read-after-staged-write" not in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    y = pe["ACC"].value
+                    pe["ACC"].set(y + 1.0)
+                machine.end_tick()
+        """)
+
+    def test_read_after_latch_is_fine(self):
+        assert "read-after-staged-write" not in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pe["ACC"].set(1.0)
+                machine.end_tick()
+                for i, pe in enumerate(pes):
+                    y = pe["ACC"].value
+        """)
+
+
+class TestCrossPeWrite:
+    def test_offset_write_in_pe_loop(self):
+        assert "cross-pe-write" in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pes[i + 1]["R"].set(1.0)
+                machine.end_tick()
+        """)
+
+    def test_own_register_write_is_fine(self):
+        assert "cross-pe-write" not in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pe["R"].set(1.0)
+                machine.end_tick()
+        """)
+
+    def test_reading_the_neighbor_is_not_a_write(self):
+        assert "cross-pe-write" not in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pe["R"].set(pes[i - 1]["R"].value)
+                machine.end_tick()
+        """)
+
+
+class TestNonNeighborLink:
+    def test_two_hop_read_on_line(self):
+        assert "non-neighbor-link" in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    y = pes[i + 2]["R"].value
+                machine.end_tick()
+        """)
+
+    def test_one_hop_read_is_fine(self):
+        assert "non-neighbor-link" not in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    y = pes[i - 1]["R"].value
+                machine.end_tick()
+        """)
+
+    def test_complete_topology_module_allows_any_hop(self):
+        assert "non-neighbor-link" not in rules_in("""
+            from repro.systolic.fabric import SystolicMachine
+
+            def build():
+                return SystolicMachine("bus", topology="complete")
+
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    y = pes[i + 3]["R"].value
+                machine.end_tick()
+        """)
+
+    def test_grid_diagonal_read_is_flagged(self):
+        assert "non-neighbor-link" in rules_in("""
+            def step(machine, pes):
+                for i in range(4):
+                    for j in range(4):
+                        y = pes[i - 1][j - 1]["R"].value
+                machine.end_tick()
+        """)
+
+    def test_grid_orthogonal_read_is_fine(self):
+        assert "non-neighbor-link" not in rules_in("""
+            def step(machine, pes):
+                for i in range(4):
+                    for j in range(4):
+                        y = pes[i - 1][j]["R"].value
+                machine.end_tick()
+        """)
+
+
+class TestIdiomRules:
+    def test_forced_write_flagged_outside_faults(self):
+        assert "forced-write" in rules_in("""
+            def hack(reg):
+                reg.force(1.0)
+        """)
+
+    def test_register_internals_flagged(self):
+        assert "register-internals" in rules_in("""
+            def peek(reg):
+                return reg._current
+        """)
+
+    def test_latch_bypass_flagged_on_pe_receiver(self):
+        assert "latch-bypass" in rules_in("""
+            def step(pes):
+                for pe in pes:
+                    pe.end_tick()
+        """)
+
+    def test_machine_latch_is_fine(self):
+        src = """
+            def step(machine):
+                machine.end_tick()
+                machine.latch()
+        """
+        found = rules_in(src)
+        assert "latch-bypass" not in found
+
+    def test_silent_op_flagged(self):
+        assert "silent-op" in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pe.count_op()
+                machine.end_tick()
+        """)
+
+    def test_counted_and_emitted_is_fine(self):
+        assert "silent-op" not in rules_in("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pe.count_op()
+                    machine.emit("op", i, "x")
+                machine.end_tick()
+        """)
+
+
+class TestSuppression:
+    SRC = """
+        def hack(reg):
+            reg.force(1.0)  # systolic: allow(forced-write) test scaffolding
+    """
+
+    def test_allow_comment_suppresses(self):
+        assert check_source(textwrap.dedent(self.SRC)) == []
+
+    def test_suppressed_findings_still_visible_on_request(self):
+        findings = check_source(
+            textwrap.dedent(self.SRC), include_suppressed=True
+        )
+        assert [f.rule for f in findings] == ["forced-write"]
+        assert findings[0].suppressed
+        assert findings[0].justification == "test scaffolding"
+
+    def test_bare_allow_is_itself_a_finding(self):
+        found = rules_in("""
+            def hack(reg):
+                reg.force(1.0)  # systolic: allow(forced-write)
+        """)
+        assert "bare-allow" in found
+
+    def test_allow_on_previous_line(self):
+        assert check_source(textwrap.dedent("""
+            def hack(reg):
+                # systolic: allow(forced-write) scan-chain restore
+                reg.force(1.0)
+        """)) == []
+
+    def test_allow_only_covers_named_rules(self):
+        found = rules_in("""
+            def hack(reg):
+                reg.force(1.0)  # systolic: allow(silent-op) wrong rule named
+        """)
+        assert "forced-write" in found
+
+    def test_fabric_internal_pragma_disables_internals_rule(self):
+        src = """
+            # systolic: fabric-internal test double
+            def peek(reg):
+                return reg._current
+        """
+        assert "register-internals" not in rules_in(src)
+
+
+class TestLinkGraph:
+    def test_shift_chain_reads_one_hop(self):
+        graph = extract_link_graph(textwrap.dedent("""
+            def step(machine, pes):
+                for i, pe in enumerate(pes):
+                    pe["R"].set(pes[i - 1]["R"].value)
+                machine.end_tick()
+        """))
+        (entry,) = graph
+        assert entry["function"] == "step"
+        assert ["R", "-1"] in entry["reads"]
+        assert "R" in entry["writes"]
+
+    def test_whole_package_is_statically_clean(self):
+        # The tentpole gate: the shipped tree carries no active findings.
+        src_root = pathlib.Path(__file__).parent.parent / "src" / "repro"
+        bad = []
+        for path in sorted(src_root.rglob("*.py")):
+            bad.extend(check_file(path))
+        assert bad == [], "\n".join(str(f) for f in bad)

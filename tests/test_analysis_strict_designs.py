@@ -1,0 +1,155 @@
+"""The five shipped designs are hazard-clean under the strict sanitizer.
+
+This is the contract the static-analysis layer enforces on the repo
+itself: every array design runs with ``strict=True`` (raise mode) with
+zero hazards, on every execution mode, and stays clean when the PR 3
+fault injector is simultaneously rewriting registers — injections are
+attributed to the injector, never to the design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import fig1b_problem, random_multistage
+from repro.systolic import (
+    BroadcastMatrixStringArray,
+    FeedbackSystolicArray,
+    MeshMatrixMultiplier,
+    PipelinedMatrixStringArray,
+)
+from repro.systolic.parenthesization import (
+    BroadcastParenthesizer,
+    SystolicParenthesizer,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def matrix_string(rng, n=3, m=5):
+    mats = [rng.integers(0, 9, size=(m, m)).astype(float) for _ in range(n)]
+    mats.append(rng.integers(0, 9, size=(m, 1)).astype(float))
+    return mats
+
+
+class TestDesignsStrictClean:
+    def test_pipelined_matrix_string(self, rng):
+        res = PipelinedMatrixStringArray().run(matrix_string(rng), strict=True)
+        assert res.report.hazards == 0
+
+    def test_pipelined_row_vector_head(self, rng):
+        mats = matrix_string(rng)
+        mats[0] = mats[0][:1]  # 1 x m head: the scalar-phase path
+        res = PipelinedMatrixStringArray().run(mats, strict=True)
+        assert res.report.hazards == 0
+
+    def test_broadcast_matrix_string(self, rng):
+        res = BroadcastMatrixStringArray().run(matrix_string(rng), strict=True)
+        assert res.report.hazards == 0
+
+    def test_broadcast_with_decision_tracking(self, rng):
+        res = BroadcastMatrixStringArray().run(
+            matrix_string(rng), strict=True, track_decisions=True
+        )
+        assert res.report.hazards == 0
+
+    def test_broadcast_graph_with_path(self, rng):
+        g = random_multistage(rng, [1, 4, 4, 4, 1])
+        path, res = BroadcastMatrixStringArray().run_graph_with_path(
+            g, strict=True
+        )
+        assert res.report.hazards == 0
+        assert path.nodes[0] == 0
+
+    def test_feedback(self):
+        res = FeedbackSystolicArray().run(fig1b_problem(), strict=True)
+        assert res.report.hazards == 0
+
+    def test_mesh_square_and_rect(self, rng):
+        mesh = MeshMatrixMultiplier()
+        a = rng.integers(0, 9, size=(4, 4)).astype(float)
+        b = rng.integers(0, 9, size=(4, 4)).astype(float)
+        assert mesh.run(a, b, strict=True).report.hazards == 0
+        a = rng.integers(0, 9, size=(3, 5)).astype(float)
+        b = rng.integers(0, 9, size=(5, 2)).astype(float)
+        assert mesh.run(a, b, strict=True).report.hazards == 0
+
+    @pytest.mark.parametrize("cls", [BroadcastParenthesizer, SystolicParenthesizer])
+    def test_parenthesization(self, cls, rng):
+        dims = tuple(int(d) for d in rng.integers(2, 30, size=8))
+        res = cls().run(dims, strict=True)
+        assert res.report.hazards == 0
+
+    def test_strict_forces_rtl_backend(self, rng):
+        # strict is cycle-level: even with backend="fast" requested, the
+        # run must go through the machine.
+        res = PipelinedMatrixStringArray().run(
+            matrix_string(rng), backend="fast", strict=True
+        )
+        assert res.report.backend == "rtl"
+
+    def test_strict_matches_non_strict_results(self, rng):
+        mats = matrix_string(rng)
+        plain = PipelinedMatrixStringArray().run(
+            [m.copy() for m in mats], backend="rtl"
+        )
+        strict = PipelinedMatrixStringArray().run(
+            [m.copy() for m in mats], strict=True
+        )
+        assert np.array_equal(np.asarray(plain.value), np.asarray(strict.value))
+        assert plain.report.iterations == strict.report.iterations
+
+
+class TestStrictUnderFaultInjection:
+    def test_campaign_style_injection_reports_no_design_hazards(self, rng):
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        mats = matrix_string(rng)
+        plan = FaultPlan(
+            design="pipelined",
+            specs=(
+                FaultSpec(mode="transient_flip", pe=0, reg="ACC", tick=2),
+                FaultSpec(
+                    mode="stuck_at", pe=1, reg="R", tick=3, duration=4,
+                    value=99.0,
+                ),
+                FaultSpec(mode="drop_delivery", pe=2, reg="R", tick=4),
+            ),
+        )
+        injector = FaultInjector(plan)
+        res = PipelinedMatrixStringArray().run(
+            mats, strict=True, injector=injector
+        )
+        assert len(injector.injections) >= 2
+        assert res.report.hazards == 0
+
+    def test_mesh_injection_clean(self, rng):
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        a = rng.integers(0, 9, size=(4, 4)).astype(float)
+        b = rng.integers(0, 9, size=(4, 4)).astype(float)
+        plan = FaultPlan(
+            design="mesh-matmul",
+            specs=(FaultSpec(mode="transient_flip", pe=5, reg="C", tick=4),),
+        )
+        injector = FaultInjector(plan)
+        res = MeshMatrixMultiplier().run(a, b, strict=True, injector=injector)
+        assert len(injector.injections) == 1
+        assert res.report.hazards == 0
+
+    def test_feedback_injection_clean(self):
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            design="fig5-feedback",
+            specs=(FaultSpec(mode="transient_flip", pe=0, reg="H", tick=3),),
+        )
+        injector = FaultInjector(plan)
+        res = FeedbackSystolicArray().run(
+            fig1b_problem(), strict=True, injector=injector
+        )
+        assert res.report.hazards == 0
