@@ -1,0 +1,213 @@
+"""THROUGHPUT — the batch engine vs. a looped ``solve()``.
+
+The paper's arrays are throughput devices: Section 4 feeds the Fig. 3
+pipeline a *stream* of matrix strings and eq. 29 sizes the process count
+for a stream of subproblems.  :func:`repro.exec.solve_batch` implements
+that reading in software — stacked vectorized kernels, eq.-29 (KT²)
+process sharding and a digest-keyed solve cache — and this module
+measures each level against the baseline everyone would write first: a
+Python loop over :func:`repro.solve`.
+
+Reproduced artifact: ``BENCH_throughput.json`` with
+
+* looped vs. batched vs. sharded wall-clock curves over batch sizes,
+* the acceptance floor — batched ≥ 5x over looped at batch 64 of
+  same-shape monadic-serial instances (fast backend, single process),
+* second-pass cache stats (must be all hits, zero misses),
+* the KT²-vs-even shard-planner ablation of eq. 29.
+
+The checked-in copy under ``benchmarks/results/`` is regenerated with::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+
+(``--quick`` trims the batch-size grid; ``--out DIR`` redirects the
+record.)  Note this container is 1-CPU: the sharded rows are recorded
+honestly (pool overhead and no parallel speedup); on a multi-core host
+the sharded column wins for large batches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+import numpy as np
+
+from repro import SolveCache, solve, solve_batch
+from repro.dnc import plan_shards
+from repro.graphs import traffic_light_problem
+
+from _benchutil import print_table, write_bench_record
+
+N_STAGES, M_VALUES = 6, 5
+BATCH_SIZES = (16, 64, 256, 1024)
+QUICK_BATCH_SIZES = (16, 64)
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _problems(rng: np.random.Generator, batch: int) -> list:
+    return [traffic_light_problem(rng, N_STAGES, M_VALUES) for _ in range(batch)]
+
+
+def _measure(batch_sizes: tuple[int, ...], workers: int) -> dict:
+    """Looped / batched / sharded walls plus cache stats per batch size."""
+    rng = np.random.default_rng(0xBEEF)
+    solve_batch(_problems(rng, 2))  # warm imports out of the timed region
+    rows = []
+    for batch in batch_sizes:
+        probs = _problems(rng, batch)
+
+        start = time.perf_counter()
+        looped = [solve(p, backend="fast") for p in probs]
+        looped_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched = solve_batch(probs)
+        batched_s = time.perf_counter() - start
+        for rep, ref in zip(batched.reports, looped):
+            assert rep.optimum == ref.optimum
+            assert rep.solution.nodes == ref.solution.nodes
+
+        start = time.perf_counter()
+        sharded = solve_batch(probs, workers=workers, min_shard_items=16)
+        sharded_s = time.perf_counter() - start
+        assert all(
+            rep.optimum == ref.optimum
+            for rep, ref in zip(sharded.reports, looped)
+        )
+
+        cache = SolveCache(capacity=2 * batch)
+        solve_batch(probs, cache=cache)
+        second = solve_batch(probs, cache=cache)
+
+        rows.append(
+            {
+                "batch": batch,
+                "looped_seconds": looped_s,
+                "batched_seconds": batched_s,
+                "sharded_seconds": sharded_s,
+                "batched_speedup": looped_s / batched_s,
+                "sharded_speedup": looped_s / sharded_s,
+                "fill_factor": batched.stats.fill_factor,
+                "shards": sharded.stats.shards,
+                "second_pass_cache_hits": second.stats.cache_hits,
+                "second_pass_cache_misses": second.stats.executed,
+            }
+        )
+    return {"workers": workers, "rows": rows}
+
+
+def _shard_ablation(num_items: int, workers: int) -> dict:
+    """Eq.-29 KT² planner vs. the naive even split, measured end to end."""
+    rng = np.random.default_rng(0xF00D)
+    probs = _problems(rng, num_items)
+    out = {}
+    for strategy in ("kt2", "even"):
+        plan = plan_shards(num_items, workers, strategy=strategy)
+        start = time.perf_counter()
+        result = solve_batch(
+            probs,
+            workers=workers,
+            min_shard_items=16,
+            shard_strategy=strategy,
+        )
+        wall = time.perf_counter() - start
+        out[strategy] = {
+            "wall_seconds": wall,
+            "shards": result.stats.shards,
+            "shard_sizes": list(result.stats.shard_sizes),
+            "kt2": plan.kt2,
+            "schedule_total": plan.schedule.total,
+        }
+    return out
+
+
+def _render(measured: dict, ablation: dict) -> None:
+    print_table(
+        f"solve_batch throughput, {N_STAGES} stages x {M_VALUES} values "
+        f"(workers={measured['workers']})",
+        ["batch", "looped s", "batched s", "sharded s", "batched x",
+         "sharded x", "2nd-pass hits"],
+        [
+            [r["batch"], f"{r['looped_seconds']:.4f}",
+             f"{r['batched_seconds']:.4f}", f"{r['sharded_seconds']:.4f}",
+             f"{r['batched_speedup']:.1f}", f"{r['sharded_speedup']:.1f}",
+             f"{r['second_pass_cache_hits']}/{r['batch']}"]
+            for r in measured["rows"]
+        ],
+    )
+    print_table(
+        "eq.-29 shard-planner ablation",
+        ["strategy", "shards", "sizes", "KT^2", "wall s"],
+        [
+            [s, d["shards"], d["shard_sizes"], f"{d['kt2']:.0f}",
+             f"{d['wall_seconds']:.4f}"]
+            for s, d in ablation.items()
+        ],
+    )
+
+
+def _record(measured: dict, ablation: dict, out_dir: pathlib.Path) -> pathlib.Path:
+    floor = next(r for r in measured["rows"] if r["batch"] >= 64)
+    return write_bench_record(
+        "throughput",
+        design="batch-engine",
+        backend="fast",
+        n=N_STAGES,
+        m=M_VALUES,
+        wall_seconds=floor["batched_seconds"],
+        iterations=floor["batch"],
+        pu=floor["fill_factor"],
+        extra={
+            "workers": measured["workers"],
+            "curves": measured["rows"],
+            "batched_speedup_at_64": floor["batched_speedup"],
+            "shard_ablation": ablation,
+        },
+        out_dir=out_dir,
+    )
+
+
+def test_throughput(tmp_path):
+    measured = _measure(QUICK_BATCH_SIZES, workers=2)
+    ablation = _shard_ablation(64, workers=2)
+    _render(measured, ablation)
+    _record(measured, ablation, tmp_path)
+    floor = next(r for r in measured["rows"] if r["batch"] >= 64)
+    assert floor["batched_speedup"] >= 5.0, (
+        f"batched only {floor['batched_speedup']:.1f}x over looped solve()"
+    )
+    for row in measured["rows"]:
+        assert row["second_pass_cache_hits"] == row["batch"]
+        assert row["second_pass_cache_misses"] == 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="trim the batch-size grid to its first two points",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="pool size for the sharded column (default: 2)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="directory for BENCH_throughput.json (default: benchmarks/results)",
+    )
+    args = parser.parse_args()
+    sizes = QUICK_BATCH_SIZES if args.quick else BATCH_SIZES
+    measured = _measure(sizes, workers=args.workers)
+    ablation = _shard_ablation(256, workers=args.workers)
+    _render(measured, ablation)
+    out_dir = pathlib.Path(args.out) if args.out else RESULTS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = _record(measured, ablation, out_dir)
+    floor = next(r for r in measured["rows"] if r["batch"] >= 64)
+    print(f"\nwrote {path} (batched {floor['batched_speedup']:.1f}x at batch 64)")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ Subpackages
 ``repro.core``      — classification, Table-1 dispatch ``solve()``, metrics.
 ``repro.telemetry`` — trace-bus observability: metrics, timelines, exporters.
 ``repro.faults``    — fault injection, ABFT detection, recovery policies.
+``repro.exec``      — batch engine: stacked kernels, KT² sharding, solve cache.
 """
 
 from . import (
@@ -38,6 +39,7 @@ from . import (
     dataflow,
     dnc,
     dp,
+    exec,
     faults,
     graphs,
     io,
@@ -57,6 +59,7 @@ from .core import (
     recommend,
     solve,
 )
+from .exec import BatchResult, BatchStats, SolveCache, solve_batch
 
 __version__ = "1.0.0"
 
@@ -74,6 +77,10 @@ __all__ = [
     "core",
     "telemetry",
     "solve",
+    "solve_batch",
+    "BatchResult",
+    "BatchStats",
+    "SolveCache",
     "classify",
     "recommend",
     "Arity",

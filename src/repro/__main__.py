@@ -11,6 +11,10 @@ Small demonstration front-end over the library:
   [--backend B]`` — time any of the five array designs on a random
   instance, per backend, and optionally write uniform ``BENCH_*.json``
   records (the CI smoke step and the perf-trajectory corpus).
+* ``python -m repro batch [--kind K] [--batch B] [--workers W]`` —
+  throughput demo of the batch engine (:mod:`repro.exec`): solve a
+  random batch with ``solve_batch`` and a looped ``solve()``, print the
+  speedup, grouping/sharding stats and second-pass cache hit rate.
 * ``python -m repro trace --design D [--export chrome|json|ascii]`` —
   run one design with telemetry sinks subscribed and export a
   Chrome-trace/Perfetto JSON, a full run record (report + events +
@@ -305,6 +309,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out_dir = pathlib.Path(args.out_dir) if args.out_dir else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
+    records: list[dict] = []
     for design in designs:
         rng = np.random.default_rng(args.seed)
         design_name, run = _design_runner(design, rng, args.n, args.m)
@@ -324,13 +329,146 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         record = _bench_record(
             design, backend, args.n, args.m, timings[backend], res.report
         )
-        if args.json and design == designs[-1]:
-            pathlib.Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
-            print(f"wrote {args.json}")
+        records.append(record)
         if out_dir is not None:
             path = out_dir / f"BENCH_{design_name.replace('-', '_')}.json"
             path.write_text(json.dumps(record, indent=2) + "\n")
             print(f"wrote {path}")
+    if args.json:
+        # One design keeps the historical flat record shape; `--design all`
+        # consolidates every design into a single suite record instead of
+        # silently keeping only the last one.
+        if len(records) == 1:
+            payload = records[0]
+        else:
+            payload = {
+                "bench": "cli_smoke_suite",
+                "designs": [r["design"] for r in records],
+                "records": records,
+                "total_wall_seconds": sum(r["wall_seconds"] for r in records),
+            }
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if out_dir is not None and len(records) > 1:
+        path = out_dir / "BENCH_all.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "bench": "cli_smoke_suite",
+                    "designs": [r["design"] for r in records],
+                    "records": records,
+                    "total_wall_seconds": sum(r["wall_seconds"] for r in records),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+def _batch_problems(kind: str, rng: np.random.Generator, batch: int, n: int, m: int):
+    """Build ``batch`` random instances of ``kind`` for the batch engine."""
+    from . import MatrixChainProblem
+    from .graphs import traffic_light_problem, uniform_multistage
+
+    if kind == "feedback":
+        return [traffic_light_problem(rng, n, m) for _ in range(batch)]
+    if kind == "pipelined":
+        return [uniform_multistage(rng, n, m) for _ in range(batch)]
+    if kind == "chain":
+        return [
+            MatrixChainProblem(tuple(int(d) for d in rng.integers(2, 50, size=n + 1)))
+            for _ in range(batch)
+        ]
+    # mixed: a third of each, exercising grouping across kinds
+    third = max(1, batch // 3)
+    probs: list = [traffic_light_problem(rng, n, m) for _ in range(third)]
+    probs += [uniform_multistage(rng, n, m) for _ in range(third)]
+    while len(probs) < batch:
+        probs.append(
+            MatrixChainProblem(tuple(int(d) for d in rng.integers(2, 50, size=n + 1)))
+        )
+    return probs[:batch]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import time
+
+    from . import SolveCache, solve, solve_batch
+
+    rng = np.random.default_rng(args.seed)
+    problems = _batch_problems(args.kind, rng, args.batch, args.n, args.m)
+
+    start = time.perf_counter()
+    looped = [solve(p, backend=args.backend) for p in problems]
+    looped_wall = time.perf_counter() - start
+
+    cache = SolveCache(capacity=max(2 * args.batch, 64))
+    start = time.perf_counter()
+    result = solve_batch(
+        problems,
+        backend=args.backend,
+        workers=args.workers,
+        cache=cache,
+        min_shard_items=args.min_shard_items,
+        shard_strategy=args.shard_strategy,
+    )
+    batched_wall = time.perf_counter() - start
+    for rep, ref in zip(result.reports, looped):
+        if rep.optimum != ref.optimum:
+            print("error: batched optimum diverged from looped solve()",
+                  file=sys.stderr)
+            return 1
+
+    second = solve_batch(problems, backend=args.backend, cache=cache)
+    stats = result.stats
+    speedup = looped_wall / batched_wall if batched_wall > 0 else float("inf")
+    print(
+        f"batch kind={args.kind} B={args.batch} n={args.n} m={args.m} "
+        f"backend={stats.backend} workers={stats.workers}"
+    )
+    print(
+        f"  looped solve(): {looped_wall:.4f}s "
+        f"({args.batch / looped_wall:.0f} problems/s)"
+    )
+    print(
+        f"  solve_batch():  {batched_wall:.4f}s "
+        f"({stats.problems_per_second:.0f} problems/s)  speedup {speedup:.1f}x"
+    )
+    print(
+        f"  groups={stats.groups} vectorized={stats.vectorized_groups} "
+        f"fill={stats.fill_factor:.2f} shards={stats.shards} "
+        f"strategy={stats.shard_strategy}"
+    )
+    print(
+        f"  cache second pass: {second.stats.cache_hits}/{second.stats.total} hits "
+        f"({cache.stats.hit_rate:.2f} overall hit rate)"
+    )
+    if args.json:
+        payload = {
+            "bench": "batch_cli",
+            "kind": args.kind,
+            "batch": args.batch,
+            "n": args.n,
+            "m": args.m,
+            "backend": stats.backend,
+            "workers": stats.workers,
+            "shard_strategy": stats.shard_strategy,
+            "looped_wall_seconds": looped_wall,
+            "batched_wall_seconds": batched_wall,
+            "speedup": speedup,
+            "problems_per_second": stats.problems_per_second,
+            "fill_factor": stats.fill_factor,
+            "groups": stats.groups,
+            "shards": stats.shards,
+            "shard_sizes": list(stats.shard_sizes),
+            "second_pass_cache_hits": second.stats.cache_hits,
+        }
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -524,6 +662,38 @@ def main(argv: list[str] | None = None) -> int:
         help="write one BENCH_<design>.json record per design into this directory",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="throughput demo: solve_batch vs looped solve() on a random batch",
+    )
+    p_batch.add_argument(
+        "--kind", choices=("feedback", "pipelined", "chain", "mixed"),
+        default="feedback",
+        help="instance family to batch (default: feedback)",
+    )
+    p_batch.add_argument("--batch", type=int, default=64, help="instances in the batch")
+    p_batch.add_argument("--n", type=int, default=6, help="stages / matrices per instance")
+    p_batch.add_argument("--m", type=int, default=5, help="values per stage / columns")
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument(
+        "--backend", choices=("rtl", "fast", "auto"), default="fast",
+        help="array execution engine (default: fast — the throughput engine)",
+    )
+    p_batch.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers for sharded groups (default: 1, in-process)",
+    )
+    p_batch.add_argument(
+        "--min-shard-items", type=int, default=64,
+        help="smallest group worth sharding across the pool (default: 64)",
+    )
+    p_batch.add_argument(
+        "--shard-strategy", choices=("kt2", "even"), default="kt2",
+        help="shard-size planner: eq.-29 KT² rule or naive even split",
+    )
+    p_batch.add_argument("--json", default=None, help="write a batch_cli record here")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_trace = sub.add_parser(
         "trace", help="run one design with telemetry sinks and export the trace"

@@ -126,6 +126,12 @@ class HazardError(SystolicError):
             lines.append(f"  … and {len(report) - 8} more")
         super().__init__("\n".join(lines))
 
+    def __reduce__(self) -> tuple[type, tuple[str, tuple[Hazard, ...]]]:
+        # Default exception pickling replays ``Cls(*args)``, but args
+        # holds the rendered message — a strict failure crossing a
+        # process-pool boundary would arrive as a TypeError without this.
+        return (HazardError, (self.design, self.report))
+
 
 class HazardSanitizer:
     """Register monitor implementing the dynamic discipline rules.

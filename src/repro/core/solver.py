@@ -97,6 +97,8 @@ def solve(
     sinks: Iterable[Callable[..., None]] = (),
     fault_plan: Any = None,
     recovery: str = "retry",
+    cache: Any = None,
+    strict: bool = False,
 ) -> SolveReport:
     """Classify ``problem`` per Table 1, solve it, and validate.
 
@@ -129,19 +131,63 @@ def solve(
     :class:`~repro.faults.FaultDetected`.  Fault injection is a
     cycle-level feature: only the systolic-array dispatch paths
     support it.
+
+    ``strict`` runs every systolic path under the hazard sanitizer
+    (:mod:`repro.analysis.hazards`), which forces the rtl backend.
+
+    ``cache`` is a :class:`~repro.exec.cache.SolveCache` (or ``True``
+    for the process-wide default): identical problems are served from
+    the cache as equal-but-independent reports.  Side-effectful runs —
+    ``sinks``, ``fault_plan``, ``backend="rtl"`` or ``strict`` — bypass
+    it and always execute.
     """
     backend = normalize_backend(backend)
     sinks = tuple(sinks)
+
+    key = None
+    cache_obj: Any = None
+    if cache is not None and cache is not False:
+        cacheable = (
+            not sinks and fault_plan is None and backend != "rtl" and not strict
+        )
+        if cacheable:
+            from ..exec.cache import default_cache
+            from ..exec.digest import cache_key
+
+            cache_obj = default_cache() if cache is True else cache
+            key = cache_key(problem, backend=backend, prefer=prefer)
+            if key is not None:
+                hit = cache_obj.get(key)
+                if hit is not None:
+                    return hit
+
+    report = _solve_dispatch(
+        problem, prefer, backend, sinks, fault_plan, recovery, strict
+    )
+    if key is not None and cache_obj is not None:
+        cache_obj.put(key, report)
+    return report
+
+
+def _solve_dispatch(
+    problem: object,
+    prefer: str | None,
+    backend: str,
+    sinks: tuple,
+    fault_plan: Any,
+    recovery: str,
+    strict: bool,
+) -> SolveReport:
     rec = recommend(problem)
     if fault_plan is not None:
         return _solve_faulty(problem, rec, prefer, sinks, fault_plan, recovery)
 
     if isinstance(problem, NodeValueProblem):
-        return _solve_node_value(problem, rec, backend, sinks)
+        return _solve_node_value(problem, rec, backend, sinks, strict)
     if isinstance(problem, MultistageGraph):
-        return _solve_graph(problem, rec, prefer, backend, sinks)
+        return _solve_graph(problem, rec, prefer, backend, sinks, strict)
     if isinstance(problem, MatrixChainProblem):
-        return _solve_chain(problem, rec, prefer, backend, sinks)
+        return _solve_chain(problem, rec, prefer, backend, sinks, strict)
     if isinstance(problem, NonserialObjective):
         return _solve_nonserial(problem, rec)
     raise TypeError(f"cannot solve object of type {type(problem).__name__}")
@@ -232,11 +278,12 @@ def _solve_node_value(
     rec: Recommendation,
     backend: str = "rtl",
     sinks: tuple = (),
+    strict: bool = False,
 ) -> SolveReport:
     ref = solve_node_value(problem)
     if problem.is_uniform and rec.dp_class is DPClass.MONADIC_SERIAL:
         res = FeedbackSystolicArray(problem.semiring).run(
-            problem, backend=backend, sinks=sinks
+            problem, backend=backend, sinks=sinks, strict=strict
         )
         return SolveReport(
             dp_class=rec.dp_class,
@@ -249,7 +296,7 @@ def _solve_node_value(
             recommendation=rec,
         )
     if rec.dp_class is DPClass.POLYADIC_SERIAL:
-        return _solve_graph(problem.to_graph(), rec, "dnc", backend, sinks)
+        return _solve_graph(problem.to_graph(), rec, "dnc", backend, sinks, strict)
     return SolveReport(
         dp_class=rec.dp_class,
         method="sequential-sweep",
@@ -277,6 +324,7 @@ def _solve_graph(
     prefer: str | None,
     backend: str = "rtl",
     sinks: tuple = (),
+    strict: bool = False,
 ) -> SolveReport:
     ref = solve_backward(graph)
     method = prefer
@@ -330,7 +378,7 @@ def _solve_graph(
             # The Fig. 4 ARG path registers let the dispatcher hand back
             # a traced optimal path instead of only the cost.
             path, res = array.run_graph_with_path(
-                target, backend=backend, sinks=sinks
+                target, backend=backend, sinks=sinks, strict=strict
             )
             return SolveReport(
                 dp_class=rec.dp_class,
@@ -342,7 +390,7 @@ def _solve_graph(
                 detail=res,
                 recommendation=rec,
             )
-        res = array.run_graph(target, backend=backend, sinks=sinks)
+        res = array.run_graph(target, backend=backend, sinks=sinks, strict=strict)
         value = np.asarray(res.value)
         optimum = float(graph.semiring.add_reduce(value, axis=None))
         return SolveReport(
@@ -373,12 +421,13 @@ def _solve_chain(
     prefer: str | None,
     backend: str = "rtl",
     sinks: tuple = (),
+    strict: bool = False,
 ) -> SolveReport:
     ref = solve_matrix_chain(problem.dims)
     engine: Any = (
         BroadcastParenthesizer() if prefer == "broadcast" else SystolicParenthesizer()
     )
-    run = engine.run(problem.dims, backend=backend, sinks=sinks)
+    run = engine.run(problem.dims, backend=backend, sinks=sinks, strict=strict)
     return SolveReport(
         dp_class=rec.dp_class,
         method=engine.design_name,

@@ -1,0 +1,107 @@
+"""Digest-keyed LRU cache of :class:`~repro.core.solver.SolveReport`.
+
+The cache maps canonical problem digests (:mod:`repro.exec.digest`) to
+finished solve reports.  Hits return a *deep copy* — callers get an
+equal but independent report, so mutating nested arrays in one caller's
+report can never corrupt another's.
+
+Side-effectful runs never touch the cache: ``sinks`` (telemetry must
+observe every event of every run), ``fault_plan`` (injections must
+happen), and the cycle-accurate ``backend="rtl"`` / ``strict`` paths
+(their value *is* the execution) all bypass it — the bypass rule lives
+in :func:`repro.exec.engine.cacheable` and is enforced by both
+``solve()`` and ``solve_batch()``.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["CacheStats", "SolveCache", "default_cache"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Monotonic counters of one cache's lifetime."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SolveCache:
+    """Thread-safe LRU cache keyed by problem digests.
+
+    ``capacity`` bounds the number of retained reports; the least
+    recently *used* (hit or stored) entry is evicted first.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached report for ``key`` (an independent deep copy), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+        return copy.deepcopy(entry)
+
+    def put(self, key: Hashable, report: Any) -> None:
+        """Store ``report`` under ``key``, evicting the LRU entry if full."""
+        stored = copy.deepcopy(report)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = stored
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+
+_DEFAULT_CACHE = SolveCache()
+
+
+def default_cache() -> SolveCache:
+    """The process-wide shared cache (used when callers pass ``cache=True``)."""
+    return _DEFAULT_CACHE

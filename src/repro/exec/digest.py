@@ -1,0 +1,78 @@
+"""Canonical problem digests for the solve cache.
+
+A digest is a SHA-256 over a canonical byte serialization of everything
+that determines a problem's answer: the problem kind, the semiring, the
+shape, and the cost data.  Two problems with equal digests are
+interchangeable as far as :func:`repro.core.solver.solve` is concerned.
+
+Node-value problems are digested through their *materialized* cost
+matrices — the paper's own eq.-(4) equivalence between the node-value
+and edge-cost forms — because the ``edge_cost`` callable itself has no
+canonical byte form.  Problems with no canonical serialization (general
+nonserial objectives, whose terms are arbitrary callables) digest to
+``None`` and are simply never cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["problem_digest", "cache_key"]
+
+
+def _update_array(h: "hashlib._Hash", a: np.ndarray) -> None:
+    a = np.ascontiguousarray(a)
+    h.update(str(a.dtype).encode())
+    h.update(repr(a.shape).encode())
+    h.update(a.tobytes())
+
+
+def problem_digest(problem: object) -> str | None:
+    """SHA-256 hex digest of a problem's canonical form, or ``None``.
+
+    ``None`` means the problem has no canonical byte serialization and
+    must bypass the cache.
+    """
+    from ..core.problem import MatrixChainProblem
+    from ..graphs import MultistageGraph, NodeValueProblem
+
+    h = hashlib.sha256()
+    if isinstance(problem, NodeValueProblem):
+        h.update(b"node_value\x00")
+        h.update(problem.semiring.name.encode())
+        for v in problem.values:
+            _update_array(h, v)
+        # Eq.-4 equivalence: the materialized edge costs are the
+        # canonical content of the stage cost function.
+        for k in range(problem.num_stages - 1):
+            _update_array(h, problem.cost_matrix(k))
+        return h.hexdigest()
+    if isinstance(problem, MultistageGraph):
+        h.update(b"multistage_graph\x00")
+        h.update(problem.semiring.name.encode())
+        for c in problem.costs:
+            _update_array(h, c)
+        return h.hexdigest()
+    if isinstance(problem, MatrixChainProblem):
+        h.update(b"matrix_chain\x00")
+        h.update(repr(problem.dims).encode())
+        return h.hexdigest()
+    return None
+
+
+def cache_key(
+    problem: object, *, backend: str, prefer: str | None
+) -> tuple[str, str, str] | None:
+    """The cache key for one ``solve()`` configuration, or ``None``.
+
+    The key folds in the backend and architecture preference: the same
+    problem solved on a different architecture may legitimately return a
+    different (equal-cost) solution object, so those results are cached
+    separately.
+    """
+    digest = problem_digest(problem)
+    if digest is None:
+        return None
+    return (digest, backend, prefer or "")

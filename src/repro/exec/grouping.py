@@ -1,0 +1,105 @@
+"""Partition a batch of problems into same-kernel, same-shape groups.
+
+The batch engine mirrors the Table-1 dispatch of
+:func:`repro.core.solver.solve` *statically*: every problem is
+classified, and problems that ``solve()`` would send to the same fast
+systolic kernel with the same shape are grouped so one stacked 3-D
+semiring pass (:mod:`repro.exec.vectorized`) can carry the whole group.
+Everything else lands in scalar groups that loop ``solve()`` —
+partitioned by whether the problems are picklable, since only picklable
+scalar groups can be shipped to a worker process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ..core.classification import DPClass, Recommendation, recommend
+from ..core.problem import MatrixChainProblem
+from ..core.solver import _graph_fits_linear_array
+from ..graphs import MultistageGraph, NodeValueProblem
+
+__all__ = ["Group", "group_problems", "VECTORIZED_KINDS"]
+
+#: Group kinds executed by a stacked vectorized kernel.
+VECTORIZED_KINDS = ("feedback", "pipelined")
+
+
+@dataclasses.dataclass
+class Group:
+    """One executable unit of a batch: a kernel kind plus its members."""
+
+    kind: str  # "feedback" | "pipelined" | "scalar"
+    key: tuple[Any, ...]
+    indices: list[int]  # positions in the original batch
+    problems: list[Any]
+    recommendations: list[Recommendation]
+    picklable: bool  # safe to ship to a worker process
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def _plan(problem: object, rec: Recommendation, prefer: str | None) -> tuple[str, tuple[Any, ...], bool]:
+    """(kind, group key, picklable) for one problem, mirroring ``solve()``."""
+    if isinstance(problem, NodeValueProblem):
+        # ``edge_cost`` is frequently a closure, so node-value problems
+        # are conservatively treated as unpicklable; their *vectorized*
+        # payloads (materialized cost matrices) still ship fine.
+        if problem.is_uniform and rec.dp_class is DPClass.MONADIC_SERIAL:
+            key = ("feedback", problem.num_stages, problem.stage_sizes[0],
+                   problem.semiring.name)
+            return "feedback", key, True
+        return "scalar", ("scalar", False), False
+    if isinstance(problem, MultistageGraph):
+        method = prefer
+        if method is None:
+            if rec.dp_class is DPClass.POLYADIC_SERIAL:
+                method = "dnc"
+            elif _graph_fits_linear_array(problem) or len(set(problem.stage_sizes)) == 1:
+                method = "pipelined"
+            else:
+                method = "sequential"
+        if method == "pipelined" and (
+            _graph_fits_linear_array(problem) or len(set(problem.stage_sizes)) == 1
+        ):
+            key = ("pipelined", problem.stage_sizes, problem.semiring.name)
+            return "pipelined", key, True
+        return "scalar", ("scalar", True), True
+    if isinstance(problem, MatrixChainProblem):
+        return "scalar", ("scalar", True), True
+    return "scalar", ("scalar", False), False
+
+
+def group_problems(
+    problems: list[Any],
+    indices: list[int],
+    *,
+    prefer: str | None,
+    vectorize: bool,
+) -> list[Group]:
+    """Partition ``problems`` (at batch positions ``indices``) into groups.
+
+    With ``vectorize=False`` (side-effectful or cycle-accurate batches)
+    every problem joins a scalar group — the kernels below are fast-path
+    only — but scalar grouping by picklability still applies, so rtl
+    batches can be sharded across workers.
+    """
+    groups: dict[tuple[Any, ...], Group] = {}
+    for pos, problem in zip(indices, problems):
+        rec = recommend(problem)
+        kind, key, picklable = _plan(problem, rec, prefer)
+        if not vectorize and kind in VECTORIZED_KINDS:
+            kind, key = "scalar", ("scalar", picklable)
+        group = groups.get(key)
+        if group is None:
+            group = Group(
+                kind=kind, key=key, indices=[], problems=[],
+                recommendations=[], picklable=picklable,
+            )
+            groups[key] = group
+        group.indices.append(pos)
+        group.problems.append(problem)
+        group.recommendations.append(rec)
+    return list(groups.values())

@@ -20,6 +20,7 @@ from .standard import (
 from .matrix import (
     batched_chain_product,
     batched_matmul,
+    batched_matvec,
     chain_product,
     chain_product_tree,
     closure,
@@ -44,6 +45,7 @@ __all__ = [
     "matmul",
     "matmul_with_arg",
     "batched_matmul",
+    "batched_matvec",
     "batched_chain_product",
     "matvec",
     "vecmat",

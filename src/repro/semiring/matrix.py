@@ -31,6 +31,7 @@ __all__ = [
     "chain_product",
     "chain_product_tree",
     "batched_matmul",
+    "batched_matvec",
     "batched_chain_product",
     "matrix_power",
     "closure",
@@ -238,6 +239,29 @@ def batched_matmul(sr: Semiring, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         )
     prod = sr.mul(a[..., :, :, None], b[..., None, :, :])
     return sr.add_reduce(prod, axis=-2)
+
+
+def batched_matvec(sr: Semiring, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Semiring mat-vec over leading batch dimensions.
+
+    ``a`` has shape ``(..., n, k)`` and ``x`` ``(..., k)``; batch
+    dimensions broadcast.  Per batch element this performs exactly the
+    broadcast-then-reduce of :func:`matvec` — ``mul(a, x[..., None, :])``
+    reduced along the last axis — so each slice of the result is
+    bit-identical to the unbatched call on that slice.  This is the
+    kernel behind the batch execution engine's stacked Fig. 3 passes
+    (:mod:`repro.exec`): one 3-D reduction carries a whole group of
+    same-shape problem instances.
+    """
+    a = sr.asarray(a)
+    x = sr.asarray(x)
+    if a.ndim < 2:
+        raise SemiringError(f"a needs at least 2 dimensions, got shape {a.shape}")
+    if x.ndim < 1:
+        raise SemiringError(f"x needs at least 1 dimension, got shape {x.shape}")
+    if a.shape[-1] != x.shape[-1]:
+        raise SemiringError(f"shape mismatch: {a.shape} x {x.shape}")
+    return sr.add_reduce(sr.mul(a, x[..., None, :]), axis=-1)
 
 
 def batched_chain_product(sr: Semiring, matrices: list[np.ndarray]) -> np.ndarray:

@@ -81,7 +81,10 @@ class TestBench:
             ["bench", "--design", "all", "--n", "4", "--m", "3",
              "--backend", "fast", "--out-dir", str(tmp_path)]
         ) == 0
-        records = sorted(tmp_path.glob("BENCH_*.json"))
+        summary_path = tmp_path / "BENCH_all.json"
+        records = sorted(
+            f for f in tmp_path.glob("BENCH_*.json") if f != summary_path
+        )
         assert len(records) == 5
         names = {json.loads(f.read_text())["design"] for f in records}
         assert names == {
@@ -94,6 +97,64 @@ class TestBench:
             record = json.loads(f.read_text())
             assert set(record) == keys
             assert record["backend"] == "fast"
+        # `--design all` also consolidates every record into one summary.
+        summary = json.loads(summary_path.read_text())
+        assert summary["bench"] == "cli_smoke_suite"
+        assert len(summary["records"]) == 5
+        assert set(summary["designs"]) == names
+        assert summary["total_wall_seconds"] == pytest.approx(
+            sum(r["wall_seconds"] for r in summary["records"])
+        )
+
+    def test_bench_all_with_json_writes_consolidated_record(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "suite.json"
+        assert main(
+            ["bench", "--design", "all", "--n", "4", "--m", "3",
+             "--backend", "fast", "--json", str(out)]
+        ) == 0
+        suite = json.loads(out.read_text())
+        assert suite["bench"] == "cli_smoke_suite"
+        assert [r["design"] for r in suite["records"]] == suite["designs"]
+        assert len(suite["records"]) == 5
+
+    def test_bench_single_design_json_keeps_flat_record(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "one.json"
+        assert main(
+            ["bench", "--design", "feedback", "--n", "4", "--m", "3",
+             "--backend", "fast", "--json", str(out)]
+        ) == 0
+        record = json.loads(out.read_text())
+        assert record["bench"] == "cli_smoke"
+        assert "records" not in record
+
+
+class TestBatch:
+    def test_batch_mixed_kinds_with_json_record(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "batch.json"
+        assert main(
+            ["batch", "--kind", "mixed", "--batch", "12", "--n", "4",
+             "--m", "3", "--json", str(out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "solve_batch()" in text and "cache second pass" in text
+        record = json.loads(out.read_text())
+        assert record["bench"] == "batch_cli"
+        assert record["batch"] == 12
+        assert record["second_pass_cache_hits"] == 12
+        assert record["speedup"] > 0
+
+    def test_batch_feedback_sharded(self, capsys):
+        assert main(
+            ["batch", "--kind", "feedback", "--batch", "16", "--n", "4",
+             "--m", "3", "--workers", "2", "--min-shard-items", "8"]
+        ) == 0
+        assert "shards=" in capsys.readouterr().out
 
 
 class TestSpacetimeJson:

@@ -1,0 +1,195 @@
+"""solve_batch(): grouping, vectorized kernels, bit-identity to solve().
+
+The batch engine's whole contract is that its stacked kernels are an
+*execution strategy*, not a different algorithm: every report must be
+bit-for-bit what a looped :func:`repro.solve` would have produced —
+optimum, reference, traced path and closed-form counters included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MatrixChainProblem, solve, solve_batch
+from repro.exec import group_problems
+from repro.graphs import (
+    NodeValueProblem,
+    single_source_sink,
+    traffic_light_problem,
+    uniform_multistage,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def assert_same_report(a, b):
+    """Bit-for-bit equality of two SolveReports (modulo object identity)."""
+    assert a.method == b.method
+    assert a.dp_class == b.dp_class
+    assert a.optimum == b.optimum
+    assert a.reference == b.reference
+    assert a.validated == b.validated
+    sa, sb = a.solution, b.solution
+    if isinstance(sa, np.ndarray) or isinstance(sb, np.ndarray):
+        assert np.array_equal(np.asarray(sa), np.asarray(sb))
+    elif hasattr(sa, "nodes"):
+        assert sa.nodes == sb.nodes
+    else:
+        assert sa == sb
+    ra = getattr(a.detail, "report", None)
+    rb = getattr(b.detail, "report", None)
+    assert ra == rb
+
+
+def assert_batch_matches_loop(problems, *, backend="fast", **kwargs):
+    result = solve_batch(problems, backend=backend, **kwargs)
+    assert len(result) == len(problems)
+    for rep, problem in zip(result, problems):
+        assert_same_report(rep, solve(problem, backend=backend))
+    return result
+
+
+class TestGrouping:
+    def test_uniform_feedback_instances_form_one_vectorized_group(self, rng):
+        probs = [traffic_light_problem(rng, 5, 4) for _ in range(6)]
+        groups = group_problems(probs, list(range(6)), prefer=None, vectorize=True)
+        assert len(groups) == 1
+        assert groups[0].kind == "feedback"
+        assert len(groups[0]) == 6
+
+    def test_shape_mismatch_splits_groups(self, rng):
+        probs = [
+            traffic_light_problem(rng, 5, 4),
+            traffic_light_problem(rng, 5, 4),
+            traffic_light_problem(rng, 6, 4),  # different stage count
+        ]
+        groups = group_problems(probs, [0, 1, 2], prefer=None, vectorize=True)
+        assert sorted(len(g) for g in groups) == [1, 2]
+
+    def test_vectorize_false_demotes_to_scalar(self, rng):
+        probs = [traffic_light_problem(rng, 5, 4) for _ in range(4)]
+        groups = group_problems(probs, [0, 1, 2, 3], prefer=None, vectorize=False)
+        assert all(g.kind == "scalar" for g in groups)
+
+    def test_group_indices_partition_the_batch(self, rng):
+        probs = [traffic_light_problem(rng, 5, 4) for _ in range(3)]
+        probs += [uniform_multistage(rng, 4, 3) for _ in range(3)]
+        groups = group_problems(probs, list(range(6)), prefer=None, vectorize=True)
+        seen = sorted(i for g in groups for i in g.indices)
+        assert seen == list(range(6))
+
+
+class TestVectorizedKernels:
+    def test_feedback_batch_bit_identical(self, rng):
+        probs = [traffic_light_problem(rng, 6, 5) for _ in range(8)]
+        result = assert_batch_matches_loop(probs)
+        assert result.stats.vectorized_groups == 1
+        assert result.stats.fill_factor == 1.0
+
+    def test_node_value_problem_batch(self, rng):
+        probs = []
+        for _ in range(5):
+            values = tuple(rng.uniform(0, 5, 4) for _ in range(5))
+            probs.append(
+                NodeValueProblem(
+                    values=values, edge_cost=lambda a, b: np.abs(a - b)
+                )
+            )
+        assert_batch_matches_loop(probs)
+
+    def test_pipelined_framed_graph_batch(self, rng):
+        probs = [uniform_multistage(rng, 5, 4) for _ in range(6)]
+        result = assert_batch_matches_loop(probs)
+        assert result.stats.vectorized_groups == 1
+
+    def test_pipelined_fitting_graph_batch(self, rng):
+        probs = [single_source_sink(rng, 4, 3) for _ in range(6)]
+        assert_batch_matches_loop(probs)
+
+    def test_chain_problems_run_scalar(self, rng):
+        probs = [
+            MatrixChainProblem(tuple(int(d) for d in rng.integers(2, 40, size=5)))
+            for _ in range(4)
+        ]
+        result = assert_batch_matches_loop(probs)
+        assert result.stats.vectorized_groups == 0
+
+    def test_mixed_batch_preserves_order(self, rng):
+        probs = [traffic_light_problem(rng, 5, 4) for _ in range(3)]
+        probs += [uniform_multistage(rng, 4, 3) for _ in range(3)]
+        probs += [
+            MatrixChainProblem(tuple(int(d) for d in rng.integers(2, 40, size=5)))
+            for _ in range(2)
+        ]
+        order = rng.permutation(len(probs))
+        shuffled = [probs[i] for i in order]
+        assert_batch_matches_loop(shuffled)
+
+    def test_rtl_backend_stays_scalar_and_identical(self, rng):
+        probs = [uniform_multistage(rng, 4, 3) for _ in range(3)]
+        result = solve_batch(probs, backend="rtl")
+        assert result.stats.vectorized_groups == 0
+        for rep, problem in zip(result, probs):
+            assert_same_report(rep, solve(problem, backend="rtl"))
+
+    def test_empty_batch(self):
+        result = solve_batch([])
+        assert len(result) == 0
+        assert result.stats.total == 0
+        assert result.stats.problems_per_second == 0.0 or result.stats.total == 0
+
+    def test_single_problem_batch(self, rng):
+        probs = [traffic_light_problem(rng, 5, 4)]
+        assert_batch_matches_loop(probs)
+
+
+class TestCrossBackendFuzz:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_batched_matches_looped_solve(self, seed):
+        rng = np.random.default_rng(seed)
+        probs = []
+        n = int(rng.integers(4, 8))
+        m = int(rng.integers(2, 6))
+        for _ in range(int(rng.integers(2, 5))):
+            probs.append(traffic_light_problem(rng, n, m))
+        for _ in range(int(rng.integers(2, 5))):
+            probs.append(uniform_multistage(rng, n, m))
+        for _ in range(int(rng.integers(1, 3))):
+            probs.append(
+                MatrixChainProblem(
+                    tuple(int(d) for d in rng.integers(2, 30, size=n))
+                )
+            )
+        shuffled = [probs[i] for i in rng.permutation(len(probs))]
+        for backend in ("fast", "rtl"):
+            result = solve_batch(shuffled, backend=backend)
+            for rep, problem in zip(result, shuffled):
+                assert_same_report(rep, solve(problem, backend=backend))
+
+
+class TestStatsAndMetrics:
+    def test_stats_accounting(self, rng):
+        probs = [traffic_light_problem(rng, 5, 4) for _ in range(4)]
+        probs += [
+            MatrixChainProblem(tuple(int(d) for d in rng.integers(2, 30, size=5)))
+            for _ in range(2)
+        ]
+        stats = solve_batch(probs).stats
+        assert stats.total == 6
+        assert stats.executed == 6
+        assert stats.cache_hits == 0
+        assert stats.vectorized_problems == 4
+        assert stats.fill_factor == pytest.approx(4 / 6)
+        assert stats.wall_seconds > 0
+        assert stats.problems_per_second > 0
+
+    def test_registry_receives_throughput_counters(self, rng):
+        registry = MetricsRegistry()
+        probs = [traffic_light_problem(rng, 5, 4) for _ in range(4)]
+        solve_batch(probs, registry=registry)
+        names = set(registry.snapshot()["metrics"])
+        assert "repro_batch_problems_total" in names
+        assert "repro_batch_cache_hits_total" in names
+        assert "repro_batch_problems_per_second" in names
+        assert "repro_batch_group_fill_factor" in names
+        assert "repro_batch_shard_wall_seconds" in names
